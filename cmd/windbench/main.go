@@ -1,0 +1,147 @@
+// Command windbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	windbench [-n requests] [-seed N] exhibit [exhibit ...]
+//	windbench all
+//
+// Exhibits: table1-table4, fig1-fig13, profiler, and the ext-* extension
+// studies; run with no arguments for the full list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"windserve/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 600, "requests per simulation run")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	o := bench.Options{Requests: *n, Seed: *seed}
+
+	writeCSV := func(rows []bench.Row) error {
+		if *csvPath == "" {
+			return nil
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return bench.WriteRowsCSV(f, rows)
+	}
+
+	exhibits := map[string]func(io.Writer) error{
+		"table1":   bench.ExpTable1,
+		"table2":   func(w io.Writer) error { _, err := bench.ExpTable2(o, w); return err },
+		"table3":   bench.ExpTable3,
+		"table4":   bench.ExpTable4,
+		"fig1":     func(w io.Writer) error { _, err := bench.ExpFig1(o, w); return err },
+		"fig2":     func(w io.Writer) error { _, err := bench.ExpFig2(o, w); return err },
+		"fig3":     func(w io.Writer) error { _, err := bench.ExpFig3(o, w); return err },
+		"fig5":     func(w io.Writer) error { _, err := bench.ExpFig5(o, w); return err },
+		"fig7":     func(w io.Writer) error { _, _, err := bench.ExpFig7(w); return err },
+		"fig8":     func(w io.Writer) error { _, err := bench.ExpFig8(w); return err },
+		"fig9":     bench.ExpFig9,
+		"profiler": func(w io.Writer) error { _, err := bench.ExpProfiler(w); return err },
+		"fig10": func(w io.Writer) error {
+			rows, err := bench.ExpFig10(o, w)
+			if err != nil {
+				return err
+			}
+			return writeCSV(rows)
+		},
+		"fig11": func(w io.Writer) error {
+			rows, err := bench.ExpFig11(o, w, nil)
+			if err != nil {
+				return err
+			}
+			return writeCSV(rows)
+		},
+		"fig12": func(w io.Writer) error { _, err := bench.ExpFig12(o, w); return err },
+		"fig13": func(w io.Writer) error { _, err := bench.ExpFig13(o, w); return err },
+		// Extensions beyond the paper's exhibits.
+		"ext-hetero":    func(w io.Writer) error { _, err := bench.ExpHetero(o, w); return err },
+		"ext-ablations": func(w io.Writer) error { _, err := bench.ExpDesignAblations(o, w); return err },
+		"ext-victim":    func(w io.Writer) error { _, err := bench.ExpVictimPolicy(o, w); return err },
+		"ext-burst":     func(w io.Writer) error { _, err := bench.ExpBurst(o, w); return err },
+		"ext-chunk":     func(w io.Writer) error { _, err := bench.ExpChunkSize(o, w); return err },
+		"ext-scale":     func(w io.Writer) error { _, err := bench.ExpScale(o, w); return err },
+		"ext-mixed":     func(w io.Writer) error { _, err := bench.ExpMixed(o, w); return err },
+		"ext-shift":     func(w io.Writer) error { _, err := bench.ExpShift(o, w); return err },
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for k := range exhibits {
+			args = append(args, k)
+		}
+		sort.Strings(args)
+	}
+	for _, name := range args {
+		run, ok := exhibits[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "windbench: unknown exhibit %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `windbench regenerates the WindServe paper's tables and figures.
+
+usage: windbench [-n requests] [-seed N] exhibit [exhibit ...]
+
+exhibits:
+  table1  per-layer FLOPs/IO accounting
+  table2  dataset statistics vs paper
+  table3  placement strategies
+  table4  SLOs
+  fig1    motivation: DistServe degradation under load
+  fig2    prefill/decode instance utilization
+  fig3    queuing delays across placements
+  fig5    dispatch threshold sweep
+  fig7    chunked-prefill vs SBD timelines
+  fig8    single-pass interference microbenchmark
+  fig9      testbed topology
+  profiler  Global Scheduler regression fits (eqs. 1-2)
+  fig10   end-to-end latency sweeps (all scenarios)
+  fig11   SLO attainment sweeps
+  fig12   bottleneck-awareness across allocations
+  fig13   ablations (no-split, no-resche)
+  all     everything above
+
+extensions (not paper exhibits):
+  ext-hetero     heterogeneous prefill hardware (paper §7 proposal)
+  ext-ablations  design-knob sweeps (drain threshold, watermark, backups)
+  ext-victim     longest-first (WindServe) vs shortest-first (Llumnix) migration victims
+  ext-burst      bursty-arrival robustness vs Poisson at equal mean rate
+  ext-chunk      vLLM chunked-prefill chunk-size trade-off
+  ext-scale      linear scaling across instance counts (multi-instance routing)
+  ext-mixed      blended chatbot + summarization workload on one cluster
+  ext-shift      load step mid-trace (dynamic adaptation vs static planning)
+
+flags:
+`)
+	flag.PrintDefaults()
+}

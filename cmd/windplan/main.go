@@ -1,0 +1,69 @@
+// Command windplan searches placements by simulation, the way DistServe
+// plans and WindServe adopts (paper §5.1): every prefill/decode TP×PP pair
+// fitting the GPU budget is simulated on a calibration workload and ranked
+// by SLO attainment, then per-GPU goodput.
+//
+//	windplan -model OPT-13B -dataset sharegpt -rate 3 -gpus 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"windserve/internal/model"
+	"windserve/internal/plan"
+	"windserve/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "OPT-13B", "model to plan for")
+	dataset := flag.String("dataset", "sharegpt", "calibration dataset: sharegpt | longbench")
+	rate := flag.Float64("rate", 3, "per-GPU request rate (req/s)")
+	gpus := flag.Int("gpus", 4, "total GPU budget")
+	n := flag.Int("n", 300, "requests per candidate simulation")
+	system := flag.String("system", "distserve", "system to evaluate under: distserve | windserve")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	var ds workload.Dataset
+	switch strings.ToLower(*dataset) {
+	case "sharegpt":
+		ds = workload.ShareGPT()
+	case "longbench":
+		ds = workload.LongBench()
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	evals, err := plan.Search(m, ds, *rate, *gpus, plan.Options{
+		System: *system, Requests: *n, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placement search: %s on %s @ %.2f req/s/GPU, %d GPUs, under %s\n\n",
+		m.Name, ds.Name, *rate, *gpus, *system)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tplacement\tSLO attainment\tgoodput/GPU\tTTFT p50 (ms)\tTPOT p99 (ms)")
+	for i, ev := range evals {
+		if ev.Err != nil {
+			fmt.Fprintf(tw, "%d\t%v\tFAILED: %v\t\t\t\n", i+1, ev.Candidate, ev.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%.1f%%\t%.3f\t%.1f\t%.1f\n",
+			i+1, ev.Candidate, 100*ev.Attainment, ev.GoodputPerGPU, ev.TTFTP50Ms, ev.TPOTP99Ms)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "windplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Command windtrace renders Fig. 7-style execution timelines comparing
+// chunked prefill against stream-based disaggregation on one decode
+// instance serving three decoding requests when a 2048-token prefill
+// arrives.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"windserve/internal/bench"
+)
+
+func main() {
+	if _, _, err := bench.ExpFig7(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "windtrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package windserve_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"windserve"
+)
+
+// Serve a fixed workload with WindServe and inspect the outcome. A fixed
+// dataset (identical prompt/output lengths) keeps the output stable.
+func Example() {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := windserve.GenerateTrace(windserve.FixedWorkload(512, 64, 2048), 1, cfg, 50, 42)
+	res, err := windserve.Run(windserve.SystemWindServe, cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s served %d requests, %d unfinished\n", res.System, res.Requests, res.Unfinished)
+	fmt.Printf("all within SLO: %v\n", res.Summary.Attainment == 1)
+	// Output:
+	// WindServe served 50 requests, 0 unfinished
+	// all within SLO: true
+}
+
+// Compare the paper's three systems on one identical trace.
+func ExampleCompare() {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := windserve.GenerateTrace(windserve.FixedWorkload(512, 64, 2048), 1, cfg, 40, 7)
+	results, err := windserve.Compare(cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %d requests\n", r.System, r.Summary.Requests)
+	}
+	// Output:
+	// vLLM: 40 requests
+	// DistServe: 40 requests
+	// WindServe: 40 requests
+}
+
+// Traces round-trip through JSON so every system sees the same stream.
+func ExampleSaveTrace() {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := windserve.GenerateTrace(windserve.ShareGPT(), 2, cfg, 5, 1)
+	var buf bytes.Buffer
+	if err := windserve.SaveTrace(&buf, trace); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := windserve.LoadTrace(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(loaded) == len(trace))
+	// Output:
+	// true
+}

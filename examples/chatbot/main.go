@@ -1,0 +1,53 @@
+// Chatbot capacity planning: sweep per-GPU request rates for an OPT-13B
+// chatbot deployment (ShareGPT lengths) and find how far each system can
+// be pushed before its SLO attainment collapses — the operator's view of
+// the paper's Fig. 10a/11a.
+//
+//	go run ./examples/chatbot
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"windserve"
+)
+
+func main() {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const target = 0.9 // we want 90% of requests inside both SLOs
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate\tsystem\tTTFT p50\tTPOT p99\tSLO attainment\tgoodput (req/s)")
+	best := map[windserve.System]float64{}
+	for _, rate := range []float64{2, 3, 4, 5, 6} {
+		trace := windserve.GenerateTrace(windserve.ShareGPT(), rate, cfg, 400, 1)
+		for _, sys := range []windserve.System{windserve.SystemVLLM, windserve.SystemDistServe, windserve.SystemWindServe} {
+			res, err := windserve.Run(sys, cfg, trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Summary
+			fmt.Fprintf(tw, "%.1f\t%s\t%v\t%v\t%.1f%%\t%.2f\n",
+				rate, res.System, s.TTFTP50, s.TPOTP99, 100*s.Attainment, s.ThroughputRPS*s.Attainment)
+			if s.Attainment >= target && rate > best[sys] {
+				best[sys] = rate
+			}
+		}
+	}
+	tw.Flush()
+
+	fmt.Printf("\nHighest per-GPU rate sustaining %.0f%% SLO attainment:\n", 100*target)
+	for _, sys := range []windserve.System{windserve.SystemVLLM, windserve.SystemDistServe, windserve.SystemWindServe} {
+		if r, ok := best[sys]; ok {
+			fmt.Printf("  %-22s %.1f req/s/GPU\n", sys, r)
+		} else {
+			fmt.Printf("  %-22s below %.0f%% at every tested rate\n", sys, 100*target)
+		}
+	}
+}

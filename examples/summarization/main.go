@@ -1,0 +1,59 @@
+// Summarization serving: LLaMA2-13B on LongBench-like workloads — long
+// prompts (≈2900 tokens), short outputs. This is the regime where KV
+// transfer cost dominates (paper §5.2, Fig. 10c/d): WindServe's
+// asynchronous transfer hides it, and this example quantifies exactly
+// that by also running the no-async ablation.
+//
+//	go run ./examples/summarization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"windserve"
+)
+
+func main() {
+	cfg, err := windserve.NewConfig("LLaMA2-13B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := windserve.GenerateTrace(windserve.LongBench(), 1.25, cfg, 400, 42)
+
+	dist, err := windserve.Run(windserve.SystemDistServe, cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wind, err := windserve.Run(windserve.SystemWindServe, cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ablation: WindServe with DistServe-style serial transfers.
+	noAsync := cfg
+	noAsync.Wind.DisableAsyncTransfer = true
+	windSerial, err := windserve.Run(windserve.SystemWindServe, noAsync, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LLaMA2-13B, LongBench, 1.25 req/s/GPU, 400 requests:")
+	for _, res := range []*windserve.Result{dist, wind, windSerial} {
+		name := res.System
+		if res == windSerial {
+			name += " (serial transfer)"
+		}
+		fmt.Printf("  %-28s TTFT p50=%v  decodeQ mean=%v  TPOT p99=%v  SLO %.1f%%\n",
+			name, res.Summary.TTFTP50, res.Summary.DecodeQueueMean,
+			res.Summary.TPOTP99, 100*res.Summary.Attainment)
+	}
+
+	// A LongBench prompt's KV is ~2900 tokens; on LLaMA2-13B that is
+	// ~2.4 GB — over 100 ms on PCIe. Serial systems put that directly in
+	// the decode-start path; WindServe overlaps it with the prefill.
+	perReq := float64(2900) * cfg.Model.KVBytesPerToken() / 1e9
+	fmt.Printf("\nKV payload per request ≈ %.2f GB; overlapped transfers: %d/%d\n",
+		perReq, wind.AsyncXfers, len(trace))
+	fmt.Printf("Decode-queue delay hidden by async transfer: %v → %v (mean)\n",
+		windSerial.Summary.DecodeQueueMean, wind.Summary.DecodeQueueMean)
+}

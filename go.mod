@@ -1,0 +1,3 @@
+module windserve
+
+go 1.22

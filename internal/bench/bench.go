@@ -1,0 +1,135 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5) plus its motivating measurements (§1–2): each ExpXxx
+// function runs the necessary simulations and prints rows/series shaped
+// like the paper's, returning the structured data for tests and plots.
+//
+// Absolute numbers differ from the paper (their testbed, our simulator);
+// the reproduced quantities are the shapes: who wins, by what factor, and
+// where the crossovers are. EXPERIMENTS.md records both sides.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"windserve/internal/metrics"
+	"windserve/internal/model"
+	"windserve/internal/serve"
+	"windserve/internal/workload"
+)
+
+// Options sizes the experiment runs.
+type Options struct {
+	// Requests per simulation run. Larger = tighter percentiles, slower.
+	Requests int
+	// Seed fixes the workload RNG.
+	Seed int64
+}
+
+// DefaultOptions returns the sizes used for the committed EXPERIMENTS.md.
+func DefaultOptions() Options { return Options{Requests: 600, Seed: 42} }
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 600
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// scenario binds a model to its dataset and rate sweep (per-GPU req/s,
+// following the paper's linear scaling rule).
+type scenario struct {
+	model   model.Config
+	dataset workload.Dataset
+	rates   []float64
+}
+
+// chatbot13B is the OPT-13B ShareGPT scenario of Fig. 10a/b (top).
+func chatbot13B() scenario {
+	return scenario{model: model.OPT13B, dataset: workload.ShareGPT(), rates: []float64{2, 3, 4, 5, 6}}
+}
+
+// chatbot66B is the OPT-66B ShareGPT scenario of Fig. 10a/b (bottom).
+func chatbot66B() scenario {
+	return scenario{model: model.OPT66B, dataset: workload.ShareGPT(), rates: []float64{0.3, 0.45, 0.6, 0.75, 0.9}}
+}
+
+// summarize13B is the LLaMA2-13B LongBench scenario of Fig. 10c/d (top).
+func summarize13B() scenario {
+	return scenario{model: model.LLaMA213B, dataset: workload.LongBench(), rates: []float64{0.5, 0.75, 1.0, 1.25, 1.5}}
+}
+
+// summarize70B is the LLaMA2-70B LongBench scenario of Fig. 10c/d (bottom).
+func summarize70B() scenario {
+	return scenario{model: model.LLaMA270B, dataset: workload.LongBench(), rates: []float64{0.1, 0.15, 0.2, 0.25, 0.3}}
+}
+
+// trace generates the scenario's request stream at a per-GPU rate. The
+// dataset's context cap is tightened to the serving model's limit.
+func (sc scenario) trace(perGPURate float64, cfg serve.Config, o Options) []workload.Request {
+	ds := sc.dataset
+	if ds.MaxContext > sc.model.MaxContext {
+		ds.MaxContext = sc.model.MaxContext
+	}
+	gpus := float64(cfg.TotalGPUs())
+	g := workload.NewGenerator(ds, workload.PoissonArrivals{Rate: perGPURate * gpus}, o.Seed)
+	return g.Generate(o.Requests)
+}
+
+// Row is one (system, rate) measurement — the atom of Fig. 10/11 series.
+type Row struct {
+	Model   string
+	Dataset string
+	System  string
+	Rate    float64 // per-GPU req/s
+	Summary metrics.Summary
+	Result  *serve.Result
+}
+
+// runSystems runs the named systems on one scenario/rate and returns rows.
+func runSystems(sc scenario, rate float64, o Options, systems map[string]func(serve.Config, []workload.Request) (*serve.Result, error)) ([]Row, error) {
+	cfg, err := serve.DefaultConfig(sc.model)
+	if err != nil {
+		return nil, err
+	}
+	reqs := sc.trace(rate, cfg, o)
+	var rows []Row
+	for _, name := range []string{"vLLM", "DistServe", "WindServe", "WindServe-no-split", "WindServe-no-resche"} {
+		run, ok := systems[name]
+		if !ok {
+			continue
+		}
+		res, err := run(cfg, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s %s rate %v: %w", sc.model.Name, name, rate, err)
+		}
+		rows = append(rows, Row{
+			Model: sc.model.Name, Dataset: sc.dataset.Name, System: res.System,
+			Rate: rate, Summary: res.Summary, Result: res,
+		})
+	}
+	return rows, nil
+}
+
+func threeSystems() map[string]func(serve.Config, []workload.Request) (*serve.Result, error) {
+	return map[string]func(serve.Config, []workload.Request) (*serve.Result, error){
+		"vLLM":      serve.RunVLLM,
+		"DistServe": serve.RunDistServe,
+		"WindServe": serve.RunWindServe,
+	}
+}
+
+// table starts an aligned writer.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func ms(d interface{ Milliseconds() float64 }) string {
+	return fmt.Sprintf("%.1f", d.Milliseconds())
+}
+
+func pctStr(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

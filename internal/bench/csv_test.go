@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+)
+
+func TestWriteRowsCSV(t *testing.T) {
+	rows := []Row{
+		{
+			Model: "OPT-13B", Dataset: "ShareGPT", System: "WindServe", Rate: 4,
+			Summary: metrics.Summary{
+				TTFTP50: sim.Milliseconds(100), TTFTP99: sim.Milliseconds(400),
+				TPOTP99: sim.Milliseconds(60), Attainment: 0.9,
+			},
+		},
+		{
+			Model: "OPT-13B", Dataset: "ShareGPT", System: "DistServe", Rate: 4,
+			Summary: metrics.Summary{TTFTP50: sim.Milliseconds(2000), Attainment: 0.07},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteRowsCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "model" || recs[0][10] != "slo_attainment" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][3] != "WindServe" || recs[1][4] != "100.0000" {
+		t.Errorf("row 1 = %v", recs[1])
+	}
+	if recs[2][10] != "0.0700" {
+		t.Errorf("row 2 attainment = %v", recs[2][10])
+	}
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestExpHeteroShape(t *testing.T) {
+	rows, err := ExpHetero(Options{Requests: 250, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		homo, mixed := rows[i], rows[i+1]
+		// The §7 thesis: the mixed cluster trades some absolute SLO
+		// attainment for markedly better cost efficiency.
+		if mixed.ClusterCost >= homo.ClusterCost {
+			t.Errorf("mixed cluster should be cheaper: $%.0f vs $%.0f", mixed.ClusterCost, homo.ClusterCost)
+		}
+		if mixed.GoodputPerKiloUSD <= homo.GoodputPerKiloUSD {
+			t.Errorf("rate %.1f: mixed goodput/k$ %.3f should beat homogeneous %.3f",
+				homo.Rate, mixed.GoodputPerKiloUSD, homo.GoodputPerKiloUSD)
+		}
+		// But the homogeneous cluster keeps the better absolute latency
+		// profile (A800 prefill is faster than 4090 prefill here).
+		if mixed.Attainment > homo.Attainment+0.05 {
+			t.Errorf("rate %.1f: mixed attainment %.2f unexpectedly beats homogeneous %.2f",
+				homo.Rate, mixed.Attainment, homo.Attainment)
+		}
+	}
+}
+
+func TestExpVictimPolicyShape(t *testing.T) {
+	rows, err := ExpVictimPolicy(Options{Requests: 400, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	longest, shortest := rows[0], rows[1]
+	// §3.3's argument: short victims free little memory, so pressure
+	// recurs and migration count balloons relative to longest-first.
+	if longest.Rescheduled == 0 {
+		t.Fatal("no migrations at the pressured allocation")
+	}
+	if shortest.Rescheduled <= longest.Rescheduled {
+		t.Errorf("Llumnix-style migrations %d should exceed WindServe's %d",
+			shortest.Rescheduled, longest.Rescheduled)
+	}
+}
+
+func TestExpBurstShape(t *testing.T) {
+	rows, err := ExpBurst(Options{Requests: 350, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(procPrefix, sys string) BurstRow {
+		for _, r := range rows {
+			if r.System == sys && len(r.Process) >= len(procPrefix) && r.Process[:len(procPrefix)] == procPrefix {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", procPrefix, sys)
+		return BurstRow{}
+	}
+	// Bursts hurt both systems, but WindServe degrades far less: its
+	// dispatch absorbs flash crowds into the decode instance.
+	dp, db := get("poisson", "DistServe"), get("bursty", "DistServe")
+	wp, wb := get("poisson", "WindServe"), get("bursty", "WindServe")
+	if db.Attainment >= dp.Attainment {
+		t.Errorf("bursts should hurt DistServe: %.2f -> %.2f", dp.Attainment, db.Attainment)
+	}
+	if wb.Attainment <= db.Attainment {
+		t.Errorf("WindServe under bursts %.2f should beat DistServe %.2f", wb.Attainment, db.Attainment)
+	}
+	if wb.Dispatched <= wp.Dispatched {
+		t.Errorf("bursts should increase dispatch activity: %d -> %d", wp.Dispatched, wb.Dispatched)
+	}
+}
+
+func TestExpScaleShape(t *testing.T) {
+	rows, err := ExpScale(Options{Requests: 300, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	att := map[string]float64{}
+	for _, r := range rows {
+		att[fmt.Sprintf("%d/%s/%.0f", r.GPUs, r.System, r.Rate)] = r.Attainment
+	}
+	// Linear scaling: WindServe's per-GPU quality at 8 GPUs stays within
+	// ~12 points of the 4-GPU deployment at every rate (statistical
+	// multiplexing may even improve it).
+	for _, rate := range []float64{2, 3, 4} {
+		small := att[fmt.Sprintf("4/WindServe/%.0f", rate)]
+		big := att[fmt.Sprintf("8/WindServe/%.0f", rate)]
+		if big < small-0.12 {
+			t.Errorf("rate %.0f: 8-GPU attainment %.2f collapsed vs 4-GPU %.2f", rate, big, small)
+		}
+	}
+}
+
+func TestExpChunkSizeShape(t *testing.T) {
+	rows, err := ExpChunkSize(Options{Requests: 300, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §3.4's trade-off: the largest chunk must beat the smallest on TTFT,
+	// and the smallest chunk must have the lowest (or tied) decode tail.
+	smallest, largest := rows[0], rows[len(rows)-1]
+	if largest.TTFTP50Ms >= smallest.TTFTP50Ms {
+		t.Errorf("TTFT p50 should fall with chunk size: %d→%.1f ms vs %d→%.1f ms",
+			smallest.ChunkSize, smallest.TTFTP50Ms, largest.ChunkSize, largest.TTFTP50Ms)
+	}
+	if smallest.TPOTP99Ms > largest.TPOTP99Ms {
+		t.Errorf("TPOT p99 should grow with chunk size: %d→%.1f ms vs %d→%.1f ms",
+			smallest.ChunkSize, smallest.TPOTP99Ms, largest.ChunkSize, largest.TPOTP99Ms)
+	}
+}
+
+func TestExpShiftShape(t *testing.T) {
+	rows, err := ExpShift(Options{Requests: 400, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dist, wind := rows[0], rows[1]
+	// Both hold phase 1; the step separates them.
+	if dist.Phase1Attain < 0.6 || wind.Phase1Attain < 0.9 {
+		t.Errorf("phase 1: dist %.2f wind %.2f", dist.Phase1Attain, wind.Phase1Attain)
+	}
+	if wind.Phase2Attain <= dist.Phase2Attain {
+		t.Errorf("phase 2: WindServe %.2f should beat DistServe %.2f", wind.Phase2Attain, dist.Phase2Attain)
+	}
+	if wind.Phase2TTFTP50Ms >= dist.Phase2TTFTP50Ms {
+		t.Errorf("phase 2 TTFT: WindServe %.1f should beat DistServe %.1f",
+			wind.Phase2TTFTP50Ms, dist.Phase2TTFTP50Ms)
+	}
+}
+
+func TestExpMixedShape(t *testing.T) {
+	rows, err := ExpMixed(Options{Requests: 300, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]MixedRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	wind, dist := byName["WindServe"], byName["DistServe"]
+	if wind.Attainment < dist.Attainment {
+		t.Errorf("mixed workload: WindServe %.2f below DistServe %.2f", wind.Attainment, dist.Attainment)
+	}
+	if wind.TPOTP99Ms >= dist.TPOTP99Ms {
+		t.Errorf("mixed workload: WindServe TPOT p99 %.1f not below DistServe %.1f",
+			wind.TPOTP99Ms, dist.TPOTP99Ms)
+	}
+}
+
+func TestExpDesignAblations(t *testing.T) {
+	rows, err := ExpDesignAblations(Options{Requests: 350, Seed: 42}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var baseline AblationRow
+	for _, r := range rows {
+		if r.Knob == "baseline" {
+			baseline = r
+		}
+		if r.Attainment <= 0 || r.Attainment > 1 {
+			t.Errorf("%s/%s attainment = %v", r.Knob, r.Setting, r.Attainment)
+		}
+	}
+	if baseline.Knob == "" {
+		t.Fatal("no baseline row")
+	}
+	// In the starved-decode regime the baseline must actually exercise
+	// rescheduling (otherwise the knobs are untested no-ops).
+	if baseline.Extra == "resched=0 backups=0 swaps=0" {
+		t.Errorf("baseline exercised nothing: %s", baseline.Extra)
+	}
+}

@@ -1,0 +1,104 @@
+// Package cluster maps serving instances onto the GPU topology: it
+// assigns devices to each instance's TP×PP group (preferring NVLink
+// pairs for tensor parallelism, as the paper's testbed layout implies),
+// builds the per-instance cost models, and budgets KV capacity from the
+// memory left after weights.
+package cluster
+
+import (
+	"fmt"
+
+	"windserve/internal/gpu"
+	"windserve/internal/model"
+	"windserve/internal/perf"
+)
+
+// Role labels what an instance does.
+type Role string
+
+// Instance roles.
+const (
+	RolePrefill   Role = "prefill"
+	RoleDecode    Role = "decode"
+	RoleColocated Role = "colocated"
+)
+
+// InstanceSpec requests one instance of a given shape.
+type InstanceSpec struct {
+	Role  Role
+	Place perf.Placement
+}
+
+// Assignment is a placed instance.
+type Assignment struct {
+	Role    Role
+	Devices []gpu.DeviceID
+	CM      *perf.CostModel
+	// KVTokens is the instance's KV capacity after weights and the
+	// activation reservation.
+	KVTokens int
+}
+
+// Plan places the instances onto consecutive devices of the topology.
+// reserveFrac is the per-GPU memory fraction reserved for activations.
+func Plan(topo *gpu.Topology, cfg model.Config, params perf.Params, reserveFrac float64, specs ...InstanceSpec) ([]Assignment, error) {
+	next := 0
+	out := make([]Assignment, 0, len(specs))
+	for i, spec := range specs {
+		n := spec.Place.GPUs()
+		if next+n > topo.NumDevices() {
+			return nil, fmt.Errorf("cluster: instance %d needs %d GPUs but only %d remain",
+				i, n, topo.NumDevices()-next)
+		}
+		devs := make([]gpu.DeviceID, n)
+		for j := range devs {
+			devs[j] = gpu.DeviceID(next + j)
+		}
+		next += n
+
+		tpLink := intraLink(topo, devs, spec.Place)
+		cm, err := perf.New(cfg, topo.Device(devs[0]).Spec, spec.Place, tpLink, params)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: instance %d: %w", i, err)
+		}
+		kv := cm.KVCapacityTokens(reserveFrac)
+		if kv <= 0 {
+			return nil, fmt.Errorf("cluster: instance %d (%s on %d GPUs) cannot hold %s weights",
+				i, spec.Place, n, cfg.Name)
+		}
+		out = append(out, Assignment{Role: spec.Role, Devices: devs, CM: cm, KVTokens: kv})
+	}
+	return out, nil
+}
+
+// intraLink picks the link used for TP collectives within one instance:
+// the slowest path inside each TP group bounds the collective.
+func intraLink(topo *gpu.Topology, devs []gpu.DeviceID, place perf.Placement) gpu.LinkSpec {
+	if len(devs) < 2 {
+		return topo.Link(gpu.LinkNVLink) // unused when TP=1,PP=1
+	}
+	// TP groups are consecutive runs of TP devices.
+	worst := gpu.LinkSpec{GBs: -1}
+	for g := 0; g+place.TP <= len(devs); g += place.TP {
+		for a := g; a < g+place.TP; a++ {
+			for b := a + 1; b < g+place.TP; b++ {
+				l := topo.PathBetween(devs[a], devs[b])
+				if worst.GBs < 0 || l.GBs < worst.GBs {
+					worst = l
+				}
+			}
+		}
+	}
+	if worst.GBs < 0 {
+		// PP-only placement: inter-stage sends use the path between
+		// consecutive stages.
+		worst = topo.PathBetween(devs[0], devs[1])
+	}
+	return worst
+}
+
+// TransferLink returns the path cross-instance KV transfers take between
+// two assignments.
+func TransferLink(topo *gpu.Topology, a, b Assignment) gpu.LinkSpec {
+	return topo.BestPairLink(a.Devices, b.Devices)
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"windserve/internal/gpu"
+	"windserve/internal/model"
+	"windserve/internal/perf"
+)
+
+func TestPlanPaperPlacement13B(t *testing.T) {
+	// Table 3: OPT-13B = [TP-2,PP-1] prefill + [TP-2,PP-1] decode.
+	topo := gpu.PaperTestbed()
+	asg, err := Plan(topo, model.OPT13B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RolePrefill, Place: perf.Placement{TP: 2, PP: 1}},
+		InstanceSpec{Role: RoleDecode, Place: perf.Placement{TP: 2, PP: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 2 {
+		t.Fatalf("assignments = %d", len(asg))
+	}
+	// Devices 0,1 form an NVLink pair → TP link must be NVLink.
+	if asg[0].CM.TPLink.Kind != gpu.LinkNVLink {
+		t.Errorf("prefill TP link = %v, want NVLink", asg[0].CM.TPLink.Kind)
+	}
+	if asg[0].Devices[0] != 0 || asg[0].Devices[1] != 1 {
+		t.Errorf("prefill devices = %v", asg[0].Devices)
+	}
+	if asg[1].Devices[0] != 2 || asg[1].Devices[1] != 3 {
+		t.Errorf("decode devices = %v", asg[1].Devices)
+	}
+	if asg[0].KVTokens < 50_000 {
+		t.Errorf("prefill KV capacity = %d tokens, implausibly small", asg[0].KVTokens)
+	}
+	// Cross-instance transfers 0/1 → 2/3 go over the PCIe switch.
+	if l := TransferLink(topo, asg[0], asg[1]); l.Kind != gpu.LinkPCIeSwitch {
+		t.Errorf("transfer link = %v, want PCIe switch", l.Kind)
+	}
+}
+
+func TestPlanPaperPlacement66B(t *testing.T) {
+	// Table 3: OPT-66B = [TP-2,PP-2] + [TP-2,PP-2] → all 8 GPUs.
+	topo := gpu.PaperTestbed()
+	asg, err := Plan(topo, model.OPT66B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RolePrefill, Place: perf.Placement{TP: 2, PP: 2}},
+		InstanceSpec{Role: RoleDecode, Place: perf.Placement{TP: 2, PP: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asg[1].Devices; got[0] != 4 || got[3] != 7 {
+		t.Errorf("decode devices = %v, want 4..7", got)
+	}
+	// 66B on 4 GPUs: ~33 GB weights per GPU leaves real KV room.
+	if asg[0].KVTokens <= 0 {
+		t.Error("no KV capacity for 66B placement")
+	}
+}
+
+func TestPlanRejectsOversubscription(t *testing.T) {
+	topo := gpu.HomogeneousTestbed(2, gpu.A800)
+	_, err := Plan(topo, model.OPT13B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RolePrefill, Place: perf.Placement{TP: 2, PP: 1}},
+		InstanceSpec{Role: RoleDecode, Place: perf.Placement{TP: 2, PP: 1}},
+	)
+	if err == nil {
+		t.Fatal("4 GPUs on a 2-GPU topology accepted")
+	}
+}
+
+func TestPlanRejectsWeightOverflow(t *testing.T) {
+	// LLaMA2-70B (~140 GB) cannot fit one 80 GB GPU.
+	topo := gpu.PaperTestbed()
+	_, err := Plan(topo, model.LLaMA270B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RoleColocated, Place: perf.Placement{TP: 1, PP: 1}},
+	)
+	if err == nil {
+		t.Fatal("70B on one GPU accepted")
+	}
+}
+
+func TestPlanRejectsInvalidPlacement(t *testing.T) {
+	topo := gpu.PaperTestbed()
+	_, err := Plan(topo, model.OPT13B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RolePrefill, Place: perf.Placement{TP: 3, PP: 1}},
+	)
+	if err == nil {
+		t.Fatal("TP-3 accepted for 40 heads")
+	}
+}
+
+func TestIntraLinkCrossPairIsPCIe(t *testing.T) {
+	// A TP-4 group spans two NVLink pairs; collectives bottleneck on PCIe.
+	topo := gpu.PaperTestbed()
+	asg, err := Plan(topo, model.OPT66B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RolePrefill, Place: perf.Placement{TP: 4, PP: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0].CM.TPLink.Kind != gpu.LinkPCIeSwitch {
+		t.Errorf("TP-4 link = %v, want PCIe switch", asg[0].CM.TPLink.Kind)
+	}
+}
+
+func TestSingleGPUInstance(t *testing.T) {
+	topo := gpu.PaperTestbed()
+	asg, err := Plan(topo, model.OPT13B, perf.DefaultParams(), 0.1,
+		InstanceSpec{Role: RoleDecode, Place: perf.Placement{TP: 1, PP: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg[0].Devices) != 1 {
+		t.Errorf("devices = %v", asg[0].Devices)
+	}
+}

@@ -1,0 +1,734 @@
+// Package engine implements the per-instance inference engine all three
+// simulated systems (vLLM, DistServe, WindServe) are built from: an
+// event-driven iteration loop with continuous batching, FCFS local
+// scheduling, whole-prompt and chunked prefill, hybrid batches,
+// swap-based preemption, and — for WindServe's decode instances —
+// stream-based disaggregation, where dispatched prefills run concurrently
+// with decode iterations in a second stream.
+//
+// The engine provides mechanism only. Policy (where a request prefills,
+// when KV moves, when to migrate) lives in internal/sched and the system
+// wiring in internal/serve, attached through Hooks.
+package engine
+
+import (
+	"fmt"
+
+	"windserve/internal/kvcache"
+	"windserve/internal/metrics"
+	"windserve/internal/perf"
+	"windserve/internal/sim"
+	"windserve/internal/trace"
+	"windserve/internal/xfer"
+)
+
+// Hooks are the policy callbacks a system attaches to an instance.
+// Any hook may be nil.
+type Hooks struct {
+	// OnPrefillStart fires when a request's first prefill pass begins.
+	OnPrefillStart func(r *Req)
+	// OnFirstToken fires the moment prefill completes and the first output
+	// token exists — including for requests whose output is a single token
+	// (which never reach OnPrefillDone because they are already finished).
+	OnFirstToken func(r *Req)
+	// OnPrefillDone fires when the full prompt is prefilled and the
+	// request still has tokens to decode. The request has been removed
+	// from the prefill queue; the system decides what happens next (admit
+	// locally, transfer, ...). The request's KV is still allocated on
+	// this instance.
+	OnPrefillDone func(r *Req)
+	// OnDecodeStart fires when a request's first decode iteration begins.
+	OnDecodeStart func(r *Req)
+	// OnComplete fires at EOS. The engine has already released the
+	// request's KV on this instance.
+	OnComplete func(r *Req)
+	// OnIterationEnd fires after each completed pass, after effects are
+	// applied — the place for watermark checks (Dynamic Rescheduling).
+	OnIterationEnd func()
+	// OnEvicted fires when a request must restart from scratch because
+	// even swap space ran out (KV already released). If nil the request
+	// re-enters this instance's prefill queue.
+	OnEvicted func(r *Req)
+}
+
+// Config fixes an instance's role and mechanisms.
+type Config struct {
+	Name string
+	CM   *perf.CostModel
+	KV   *kvcache.Manager
+	// HostLink carries swap traffic. Swaps stall the engine (as in vLLM).
+	HostLink *xfer.Link
+	Tracer   *trace.Tracer
+
+	// AllowPrefill permits prefill work in the main stream (true for
+	// prefill instances and co-located engines; false for pure decode
+	// instances, whose only prefill path is SBD assists).
+	AllowPrefill bool
+	// ChunkSize is the per-iteration new-token budget once decode jobs
+	// share the main stream (chunked prefill). 0 disables chunking.
+	ChunkSize int
+	// AlwaysChunk forms every hybrid batch with the chunk budget even
+	// when no decodes are running (vLLM's chunked-prefill mode).
+	AlwaysChunk bool
+	// MaxPrefillTokens bounds the total prompt tokens batched into one
+	// whole-prompt prefill pass.
+	MaxPrefillTokens int
+	// MaxDecodeBatch bounds the running decode batch size.
+	MaxDecodeBatch int
+	// SBD runs assist prefills in a separate stream concurrently with
+	// decode iterations (WindServe's Stream-based Disaggregation). When
+	// false, assists join the prefill queue instead (the paper's
+	// WindServe-no-split ablation).
+	SBD bool
+	// AssistBatchTokens bounds the prefill tokens batched into one SBD
+	// pass (Algorithm 1 adds the whole assistRequests set to the decode
+	// pipeline at once). Defaults to MaxPrefillTokens.
+	AssistBatchTokens int
+}
+
+// Instance is one serving instance (a prefill, decode, or co-located
+// engine) advancing on the shared simulator.
+type Instance struct {
+	cfg   Config
+	sim   *sim.Simulator
+	hooks Hooks
+
+	prefillQ []*Req // FCFS prefill waiting queue
+	assistQ  []*Req // dispatched prefills awaiting the SBD stream
+	admitQ   []*Req // prefilled, KV resident, waiting to join running
+	running  []*Req // decode batch
+	swapped  []*Req // preempted to host memory
+
+	busy        bool
+	busyUntil   sim.Time
+	stallUntil  sim.Time // swap transfers stall the next iteration
+	kickPending bool
+	// inFlight counts passes past their initiation interval but not yet
+	// applied. Pipeline parallelism lets pure-prefill passes overlap: a
+	// new prefill batch may enter stage 0 once the previous pass clears
+	// it (one initiation interval = latency / PP), so a PP-p prefill
+	// instance sustains ~p× the throughput of its per-pass latency.
+	// Decode and hybrid passes never overlap (consecutive decode steps
+	// are data-dependent).
+	inFlight int
+
+	assistActive []*Req // SBD pass in flight (empty when stream 2 idle)
+	assistBatch  perf.Batch
+
+	// Telemetry.
+	ComputeGauge metrics.Gauge // tensor-core utilization (Fig. 2)
+	BWGauge      metrics.Gauge // HBM bandwidth utilization (Fig. 2)
+	Iterations   uint64
+	SwapStall    sim.Duration
+	Recomputes   uint64
+}
+
+// NewInstance validates config and returns an idle instance.
+func NewInstance(s *sim.Simulator, cfg Config, hooks Hooks) (*Instance, error) {
+	if cfg.CM == nil || cfg.KV == nil {
+		return nil, fmt.Errorf("engine: %s needs a cost model and KV manager", cfg.Name)
+	}
+	if cfg.MaxDecodeBatch <= 0 {
+		cfg.MaxDecodeBatch = 256
+	}
+	if cfg.MaxPrefillTokens <= 0 {
+		cfg.MaxPrefillTokens = 8192
+	}
+	if cfg.AssistBatchTokens <= 0 {
+		cfg.AssistBatchTokens = cfg.MaxPrefillTokens
+	}
+	return &Instance{cfg: cfg, sim: s, hooks: hooks}, nil
+}
+
+// Name returns the instance name.
+func (ins *Instance) Name() string { return ins.cfg.Name }
+
+// KV exposes the instance's block manager (systems allocate transfer
+// targets and backups through it).
+func (ins *Instance) KV() *kvcache.Manager { return ins.cfg.KV }
+
+// CM exposes the cost model (the Profiler profiles against it).
+func (ins *Instance) CM() *perf.CostModel { return ins.cfg.CM }
+
+// --- Work submission -------------------------------------------------
+
+// EnqueuePrefill adds a request to the FCFS prefill queue.
+func (ins *Instance) EnqueuePrefill(r *Req) {
+	r.Phase = PhaseWaiting
+	ins.prefillQ = append(ins.prefillQ, r)
+	ins.Kick()
+}
+
+// EnqueueAssist adds a dispatched prefill. With SBD it runs in the second
+// stream; otherwise it degrades to a normal prefill enqueue. The caller
+// must have allocated KV for prompt+1 tokens on this instance already.
+func (ins *Instance) EnqueueAssist(r *Req) {
+	r.Assist = true
+	if !ins.cfg.SBD {
+		ins.EnqueuePrefill(r)
+		return
+	}
+	r.Phase = PhaseWaiting
+	ins.assistQ = append(ins.assistQ, r)
+	ins.Kick()
+}
+
+// AdmitDecode queues a prefilled request (KV resident here) for the
+// running batch.
+func (ins *Instance) AdmitDecode(r *Req) {
+	r.Phase = PhasePendingDecode
+	ins.admitQ = append(ins.admitQ, r)
+	ins.Kick()
+}
+
+// InsertRunning adds a request directly to the running batch (migration
+// resume). KV must already be resident.
+func (ins *Instance) InsertRunning(r *Req) {
+	r.Phase = PhaseDecoding
+	ins.running = append(ins.running, r)
+	ins.Kick()
+}
+
+// RemoveRunning takes a request out of the running batch (migration
+// drain). Reports whether it was present.
+func (ins *Instance) RemoveRunning(r *Req) bool {
+	for i, x := range ins.running {
+		if x == r {
+			ins.running = append(ins.running[:i], ins.running[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseKV frees a request's blocks here and re-kicks the engine (freed
+// space may unblock queued work).
+func (ins *Instance) ReleaseKV(r *Req) {
+	if ins.cfg.KV.Has(r.KVID()) {
+		if err := ins.cfg.KV.Release(r.KVID()); err != nil {
+			panic(fmt.Sprintf("engine: %s release %v: %v", ins.cfg.Name, r, err))
+		}
+	}
+	ins.Kick()
+}
+
+// --- Observability (the Global Scheduler's view) ----------------------
+
+// QueuedPrefillTokens sums the unprefilled prompt tokens waiting in the
+// main-stream queue — Algorithm 1's load signal.
+func (ins *Instance) QueuedPrefillTokens() int {
+	n := 0
+	for _, r := range ins.prefillQ {
+		n += r.PrefillRemaining()
+	}
+	return n
+}
+
+// BusyRemaining is the time until the current pass completes (0 if idle).
+func (ins *Instance) BusyRemaining() sim.Duration {
+	if !ins.busy {
+		return 0
+	}
+	return ins.busyUntil.Sub(ins.sim.Now())
+}
+
+// RunningShape describes the current decode batch.
+func (ins *Instance) RunningShape() perf.Batch {
+	b := perf.Batch{DecodeReqs: len(ins.running)}
+	for _, r := range ins.running {
+		b.DecodeSumCtx += r.Ctx()
+	}
+	return b
+}
+
+// Running returns the live decode batch (callers must not mutate).
+func (ins *Instance) Running() []*Req { return ins.running }
+
+// NumRunning returns the decode batch size.
+func (ins *Instance) NumRunning() int { return len(ins.running) }
+
+// NumSwapped returns how many requests are preempted to host memory.
+func (ins *Instance) NumSwapped() int { return len(ins.swapped) }
+
+// NumQueued returns prefill queue length.
+func (ins *Instance) NumQueued() int { return len(ins.prefillQ) }
+
+// PendingAdmits returns how many prefilled requests await decode admission.
+func (ins *Instance) PendingAdmits() int { return len(ins.admitQ) }
+
+// AssistPendingTokens sums prompt tokens of queued + active assists.
+func (ins *Instance) AssistPendingTokens() int {
+	n := 0
+	for _, r := range ins.assistQ {
+		n += r.PrefillRemaining()
+	}
+	for _, r := range ins.assistActive {
+		n += r.W.PromptTokens
+	}
+	return n
+}
+
+// AssistActive reports whether an SBD prefill pass is in flight.
+func (ins *Instance) AssistActive() bool { return len(ins.assistActive) > 0 }
+
+// FreeKVTokens returns the token capacity of free blocks.
+func (ins *Instance) FreeKVTokens() int { return ins.cfg.KV.FreeTokens() }
+
+// Idle reports whether the main stream has nothing running or runnable.
+func (ins *Instance) Idle() bool {
+	return !ins.busy && len(ins.running) == 0 && len(ins.prefillQ) == 0 &&
+		len(ins.admitQ) == 0 && len(ins.assistActive) == 0 && len(ins.assistQ) == 0
+}
+
+// --- The iteration loop ------------------------------------------------
+
+// Kick schedules a scheduling pass if none is pending. Idempotent; safe to
+// call from hooks and completions.
+func (ins *Instance) Kick() {
+	if ins.kickPending {
+		return
+	}
+	ins.kickPending = true
+	delay := sim.Duration(0)
+	if now := ins.sim.Now(); ins.stallUntil > now && !ins.busy {
+		delay = ins.stallUntil.Sub(now)
+	}
+	ins.sim.Schedule(delay, func() {
+		ins.kickPending = false
+		ins.step()
+	})
+}
+
+func (ins *Instance) step() {
+	if ins.busy {
+		return
+	}
+	if now := ins.sim.Now(); ins.stallUntil > now {
+		ins.Kick()
+		return
+	}
+	if ins.inFlight > 0 && (len(ins.running) > 0 || len(ins.admitQ) > 0 || len(ins.swapped) > 0) {
+		// Decode work is runnable but prefill passes are still in the
+		// pipeline; wait for them to drain (their completions re-kick).
+		return
+	}
+	ins.trySwapIn()
+	ins.admit()
+	ins.maybeStartAssist()
+	batch, plan := ins.formBatch()
+	if batch.Empty() {
+		return
+	}
+	start := ins.sim.Now()
+	dur := ins.passDuration(batch)
+	// Pure-prefill passes on a PP>1 placement pipeline: the engine frees
+	// for the next batch after one initiation interval, while the pass's
+	// effects land at its full latency.
+	initiation := dur
+	if len(plan.decodes) == 0 && ins.cfg.CM.Place.PP > 1 {
+		initiation = dur / sim.Duration(ins.cfg.CM.Place.PP)
+	}
+	ins.busy = true
+	ins.busyUntil = start.Add(dur)
+	ins.inFlight++
+	ins.Iterations++
+	ins.recordUtilization(batch, start, dur)
+	ins.tracePass(batch, plan, start, dur)
+	for _, r := range plan.newDecodes {
+		if ins.hooks.OnDecodeStart != nil {
+			ins.hooks.OnDecodeStart(r)
+		}
+	}
+	ins.sim.Schedule(initiation, func() {
+		ins.busy = false
+		ins.Kick()
+	})
+	ins.sim.Schedule(dur, func() {
+		ins.inFlight--
+		ins.apply(plan)
+		if ins.hooks.OnIterationEnd != nil {
+			ins.hooks.OnIterationEnd()
+		}
+		ins.Kick()
+	})
+}
+
+// passPlan remembers what a pass will do so apply() can commit it.
+type passPlan struct {
+	prefillSegs []prefillSeg
+	decodes     []*Req
+	newDecodes  []*Req // first decode step this pass
+	batch       perf.Batch
+}
+
+type prefillSeg struct {
+	r      *Req
+	tokens int
+}
+
+// passDuration selects the timing model: SBD contention applies to decode
+// passes while an assist prefill stream is active.
+func (ins *Instance) passDuration(b perf.Batch) sim.Duration {
+	if len(ins.assistActive) > 0 {
+		return ins.cfg.CM.SBDDecodeTime(b, ins.assistBatch)
+	}
+	return ins.cfg.CM.IterTime(b)
+}
+
+// admit moves pending requests into the running batch.
+func (ins *Instance) admit() {
+	for len(ins.admitQ) > 0 && len(ins.running) < ins.cfg.MaxDecodeBatch {
+		r := ins.admitQ[0]
+		ins.admitQ = ins.admitQ[1:]
+		r.Phase = PhaseDecoding
+		ins.running = append(ins.running, r)
+	}
+}
+
+// trySwapIn restores the oldest preempted request if blocks allow.
+// Swapped requests take priority over new admissions (vLLM policy).
+func (ins *Instance) trySwapIn() {
+	for len(ins.swapped) > 0 && len(ins.running) < ins.cfg.MaxDecodeBatch {
+		r := ins.swapped[0]
+		tokens, err := ins.cfg.KV.SwapIn(r.KVID())
+		if err != nil {
+			return // no space yet; retry on a later kick
+		}
+		ins.swapped = ins.swapped[1:]
+		ins.stall(ins.swapTime(tokens), trace.KindSwapIn, r)
+		r.Phase = PhaseDecoding
+		ins.running = append(ins.running, r)
+	}
+}
+
+// maybeStartAssist launches the next SBD prefill pass in the second
+// stream, batching queued assists up to AssistBatchTokens (Algorithm 1
+// adds the accumulated assistRequests to the decode pipeline together).
+func (ins *Instance) maybeStartAssist() {
+	if !ins.cfg.SBD || len(ins.assistActive) > 0 || len(ins.assistQ) == 0 {
+		return
+	}
+	var batch perf.Batch
+	budget := ins.cfg.AssistBatchTokens
+	for len(ins.assistQ) > 0 {
+		r := ins.assistQ[0]
+		n := r.PrefillRemaining()
+		if n > budget && len(ins.assistActive) > 0 {
+			break
+		}
+		ins.assistQ = ins.assistQ[1:]
+		r.Phase = PhasePrefilling
+		ins.assistActive = append(ins.assistActive, r)
+		batch.Prefill = append(batch.Prefill, perf.PrefillSeg{NewTokens: n})
+		if ins.hooks.OnPrefillStart != nil {
+			ins.hooks.OnPrefillStart(r)
+		}
+		budget -= n
+		if budget <= 0 {
+			break
+		}
+	}
+	ins.assistBatch = batch
+	start := ins.sim.Now()
+	dur := ins.cfg.CM.SBDPrefillTime(batch, ins.RunningShape())
+	cost := ins.cfg.CM.BatchCost(batch)
+	ins.ComputeGauge.AddInterval(start, start.Add(dur),
+		cost.FLOPs()/(dur.Seconds()*ins.cfg.CM.GPU.FLOPS()*float64(ins.cfg.CM.Place.GPUs())))
+	ins.cfg.Tracer.Add(ins.cfg.Name+"/stream2", trace.KindSBDPrefill, start, start.Add(dur),
+		fmt.Sprintf("%d reqs n=%d", len(ins.assistActive), batch.PrefillTokens()))
+	done := ins.assistActive
+	ins.sim.Schedule(dur, func() {
+		ins.assistActive = nil
+		for _, r := range done {
+			r.PrefillDone = r.W.PromptTokens
+			ins.finishPrefill(r)
+		}
+		ins.Kick()
+	})
+}
+
+// formBatch builds the next main-stream pass under FCFS with continuous
+// batching.
+func (ins *Instance) formBatch() (perf.Batch, passPlan) {
+	var plan passPlan
+	b := perf.Batch{DecodeReqs: len(ins.running)}
+	for _, r := range ins.running {
+		b.DecodeSumCtx += r.Ctx()
+		r.inPass = true
+		plan.decodes = append(plan.decodes, r)
+		if r.Generated == 1 && !r.Migrating {
+			plan.newDecodes = append(plan.newDecodes, r)
+		}
+	}
+	if ins.cfg.AllowPrefill {
+		chunked := ins.cfg.ChunkSize > 0 && (ins.cfg.AlwaysChunk || len(ins.running) > 0)
+		if chunked {
+			ins.fillChunked(&b, &plan)
+		} else {
+			ins.fillWholePrompts(&b, &plan)
+		}
+	}
+	plan.batch = b
+	return b, plan
+}
+
+// fillWholePrompts batches entire prompts FCFS up to MaxPrefillTokens.
+func (ins *Instance) fillWholePrompts(b *perf.Batch, plan *passPlan) {
+	budget := ins.cfg.MaxPrefillTokens
+	for _, r := range ins.prefillQ {
+		if r.inPass {
+			continue // already in a pipelined pass in flight
+		}
+		n := r.PrefillRemaining()
+		if n > budget && len(plan.prefillSegs) > 0 {
+			break // keep FCFS: stop at the first request that doesn't fit
+		}
+		if !ins.ensureKV(r) {
+			break // head-of-line blocks until space frees
+		}
+		seg := perf.PrefillSeg{NewTokens: n, CtxBefore: r.PrefillDone}
+		b.Prefill = append(b.Prefill, seg)
+		plan.prefillSegs = append(plan.prefillSegs, prefillSeg{r: r, tokens: n})
+		r.inPass = true
+		ins.startPrefillOnce(r)
+		budget -= n
+		if budget <= 0 {
+			break
+		}
+	}
+}
+
+// fillChunked batches up to ChunkSize new prefill tokens FCFS.
+func (ins *Instance) fillChunked(b *perf.Batch, plan *passPlan) {
+	budget := ins.cfg.ChunkSize
+	for _, r := range ins.prefillQ {
+		if budget <= 0 {
+			break
+		}
+		if r.inPass {
+			continue
+		}
+		if !ins.ensureKV(r) {
+			break
+		}
+		n := r.PrefillRemaining()
+		if n > budget {
+			n = budget
+		}
+		b.Prefill = append(b.Prefill, perf.PrefillSeg{NewTokens: n, CtxBefore: r.PrefillDone})
+		plan.prefillSegs = append(plan.prefillSegs, prefillSeg{r: r, tokens: n})
+		r.inPass = true
+		ins.startPrefillOnce(r)
+		budget -= n
+	}
+}
+
+// ensureKV allocates prompt+1 tokens for a request about to prefill here.
+func (ins *Instance) ensureKV(r *Req) bool {
+	if ins.cfg.KV.Has(r.KVID()) {
+		return true
+	}
+	return ins.cfg.KV.Allocate(r.KVID(), r.W.PromptTokens+1) == nil
+}
+
+func (ins *Instance) startPrefillOnce(r *Req) {
+	if r.Phase != PhasePrefilling {
+		r.Phase = PhasePrefilling
+		if ins.hooks.OnPrefillStart != nil {
+			ins.hooks.OnPrefillStart(r)
+		}
+	}
+}
+
+// apply commits a completed pass.
+func (ins *Instance) apply(plan passPlan) {
+	// Prefill progress.
+	for _, seg := range plan.prefillSegs {
+		seg.r.inPass = false
+		seg.r.PrefillDone += seg.tokens
+		if seg.r.PrefillComplete() {
+			ins.dequeuePrefill(seg.r)
+			ins.finishPrefill(seg.r)
+		}
+	}
+	// Decode progress.
+	for _, r := range plan.decodes {
+		r.inPass = false
+		if !ins.contains(r) {
+			// Evicted or drained (migration) after this pass was formed —
+			// possibly already running elsewhere. Its slot's token is lost.
+			continue
+		}
+		r.Generated++
+		if r.Finished() {
+			ins.RemoveRunning(r)
+			r.Phase = PhaseDone
+			ins.ReleaseKV(r)
+			if ins.hooks.OnComplete != nil {
+				ins.hooks.OnComplete(r)
+			}
+			continue
+		}
+		ins.growOrPreempt(r)
+	}
+}
+
+// finishPrefill handles full-prompt completion: the first output token
+// exists now.
+func (ins *Instance) finishPrefill(r *Req) {
+	if r.Generated == 0 {
+		r.Generated = 1
+	}
+	if ins.hooks.OnFirstToken != nil {
+		ins.hooks.OnFirstToken(r)
+	}
+	if r.Finished() { // single-token outputs complete at prefill
+		r.Phase = PhaseDone
+		ins.ReleaseKV(r)
+		if ins.hooks.OnComplete != nil {
+			ins.hooks.OnComplete(r)
+		}
+		return
+	}
+	if ins.hooks.OnPrefillDone != nil {
+		ins.hooks.OnPrefillDone(r)
+		return
+	}
+	// Default policy (co-located engine): join the local decode batch.
+	ins.AdmitDecode(r)
+}
+
+// contains reports whether r is currently in this instance's running batch.
+func (ins *Instance) contains(r *Req) bool {
+	for _, x := range ins.running {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (ins *Instance) dequeuePrefill(r *Req) {
+	for i, x := range ins.prefillQ {
+		if x == r {
+			ins.prefillQ = append(ins.prefillQ[:i], ins.prefillQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// growOrPreempt extends r's KV by one token, evicting low-priority
+// requests (LIFO — latest admitted first, vLLM's policy) until it fits.
+func (ins *Instance) growOrPreempt(r *Req) {
+	for {
+		err := ins.cfg.KV.Grow(r.KVID(), r.Ctx())
+		if err == nil {
+			return
+		}
+		victim := ins.pickVictim()
+		if victim == nil {
+			// Nothing left to evict but the request itself.
+			ins.evict(r)
+			return
+		}
+		ins.evict(victim)
+		if victim == r {
+			return
+		}
+	}
+}
+
+// pickVictim returns the latest-admitted running request, preferring not
+// to evict migrating requests (their copies are in flight).
+func (ins *Instance) pickVictim() *Req {
+	for i := len(ins.running) - 1; i >= 0; i-- {
+		if !ins.running[i].Migrating {
+			return ins.running[i]
+		}
+	}
+	if len(ins.running) > 0 {
+		return ins.running[len(ins.running)-1]
+	}
+	return nil
+}
+
+// evict swaps a running request out to host memory, or — if swap space is
+// exhausted — releases its KV for full recomputation.
+func (ins *Instance) evict(r *Req) {
+	ins.RemoveRunning(r)
+	r.Evictions++
+	tokens, err := ins.cfg.KV.SwapOut(r.KVID())
+	if err == nil {
+		r.Phase = PhaseSwapped
+		ins.swapped = append(ins.swapped, r)
+		ins.stall(ins.swapTime(tokens), trace.KindSwapOut, r)
+		return
+	}
+	// Recompute path: drop the KV and prefill again from scratch.
+	ins.Recomputes++
+	ins.ReleaseKV(r)
+	r.PrefillDone = 0
+	r.Migrating = false
+	if ins.hooks.OnEvicted != nil {
+		r.Phase = PhaseWaiting
+		ins.hooks.OnEvicted(r)
+		return
+	}
+	ins.EnqueuePrefill(r)
+}
+
+// swapTime is the host-link time for a request's KV payload.
+func (ins *Instance) swapTime(tokens int) sim.Duration {
+	if ins.cfg.HostLink == nil {
+		return 0
+	}
+	return ins.cfg.HostLink.TransferTime(float64(tokens) * ins.cfg.CM.Cfg.KVBytesPerToken())
+}
+
+// stall blocks the next iteration for d (swap transfers synchronize the
+// engine, as in vLLM) and traces the swap span.
+func (ins *Instance) stall(d sim.Duration, kind trace.Kind, r *Req) {
+	if d <= 0 {
+		return
+	}
+	now := ins.sim.Now()
+	base := now
+	if ins.stallUntil > base {
+		base = ins.stallUntil
+	}
+	ins.stallUntil = base.Add(d)
+	ins.SwapStall += d
+	ins.cfg.Tracer.Add(ins.cfg.Name, kind, base, ins.stallUntil, fmt.Sprintf("req%d", r.W.ID))
+}
+
+// recordUtilization charges the pass to the Fig. 2 gauges.
+func (ins *Instance) recordUtilization(b perf.Batch, start sim.Time, dur sim.Duration) {
+	if dur <= 0 {
+		return
+	}
+	cost := ins.cfg.CM.BatchCost(b)
+	gpus := float64(ins.cfg.CM.Place.GPUs())
+	end := start.Add(dur)
+	ins.ComputeGauge.AddInterval(start, end, cost.FLOPs()/(dur.Seconds()*ins.cfg.CM.GPU.FLOPS()*gpus))
+	ins.BWGauge.AddInterval(start, end, cost.IOBytes()/(dur.Seconds()*ins.cfg.CM.GPU.BandwidthBytes()*gpus))
+}
+
+func (ins *Instance) tracePass(b perf.Batch, plan passPlan, start sim.Time, dur sim.Duration) {
+	if ins.cfg.Tracer == nil {
+		return
+	}
+	kind := trace.KindDecode
+	switch {
+	case len(plan.prefillSegs) > 0 && b.DecodeReqs > 0:
+		kind = trace.KindHybrid
+	case len(plan.prefillSegs) > 0:
+		kind = trace.KindPrefill
+		if plan.prefillSegs[0].tokens < plan.prefillSegs[0].r.W.PromptTokens {
+			kind = trace.KindChunk
+		}
+	case len(ins.assistActive) > 0:
+		kind = trace.KindSBDDecode
+	}
+	ins.cfg.Tracer.Add(ins.cfg.Name, kind, start, start.Add(dur),
+		fmt.Sprintf("pre=%d dec=%d", b.PrefillTokens(), b.DecodeReqs))
+}

@@ -1,0 +1,327 @@
+// Package kvcache implements a PagedAttention-style KV-cache block manager
+// (paper §2.1): the KV space of a serving instance is divided into
+// fixed-size blocks of tokens, allocated on demand per request as contexts
+// grow, with optional swap space in host memory for preempted requests and
+// backup copies used by WindServe's rescheduling (paper §3.3).
+//
+// Because allocation is paged there is no fragmentation to model; the
+// manager tracks block counts and per-request block tables, which is all
+// the schedulers observe.
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the tokens-per-block used by vLLM and DistServe.
+const DefaultBlockSize = 16
+
+// ErrNoSpace is returned when a GPU allocation cannot be satisfied.
+var ErrNoSpace = errors.New("kvcache: insufficient free GPU blocks")
+
+// ErrNoCPUSpace is returned when swap space is exhausted.
+var ErrNoCPUSpace = errors.New("kvcache: insufficient free CPU swap blocks")
+
+// ErrUnknownRequest is returned for operations on requests with no
+// allocation.
+var ErrUnknownRequest = errors.New("kvcache: unknown request")
+
+// RequestID identifies a request's allocation.
+type RequestID uint64
+
+// Location says where a request's KV blocks currently live.
+type Location int
+
+const (
+	// OnGPU means all the request's blocks are in device memory.
+	OnGPU Location = iota
+	// Swapped means the blocks were swapped out to host memory.
+	Swapped
+)
+
+type table struct {
+	tokens   int
+	blocks   int
+	loc      Location
+	isBackup bool
+}
+
+// Stats aggregates allocator activity for the experiment harness
+// (Fig. 1a's swap counts come from here).
+type Stats struct {
+	// PeakBlocks is the maximum concurrently-used GPU block count.
+	PeakBlocks int
+	// SwapOutEvents / SwapInEvents count whole-request swaps.
+	SwapOutEvents, SwapInEvents uint64
+	// SwapOutTokens / SwapInTokens count tokens moved across the host link.
+	SwapOutTokens, SwapInTokens uint64
+	// FailedAllocs counts allocation attempts rejected with ErrNoSpace.
+	FailedAllocs uint64
+}
+
+// Manager is a block allocator for one serving instance. It is not
+// goroutine-safe; the event-driven simulation is single-threaded.
+type Manager struct {
+	blockSize int
+	gpuBlocks int
+	gpuFree   int
+	cpuBlocks int
+	cpuFree   int
+	tables    map[RequestID]*table
+	stats     Stats
+}
+
+// New creates a manager with capacity for gpuTokens of KV cache on device
+// and cpuTokens of swap space, in blocks of blockSize tokens.
+func New(gpuTokens, cpuTokens, blockSize int) (*Manager, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("kvcache: block size %d must be positive", blockSize)
+	}
+	if gpuTokens < 0 || cpuTokens < 0 {
+		return nil, fmt.Errorf("kvcache: negative capacity")
+	}
+	g, c := gpuTokens/blockSize, cpuTokens/blockSize
+	return &Manager{
+		blockSize: blockSize,
+		gpuBlocks: g, gpuFree: g,
+		cpuBlocks: c, cpuFree: c,
+		tables: make(map[RequestID]*table),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(gpuTokens, cpuTokens, blockSize int) *Manager {
+	m, err := New(gpuTokens, cpuTokens, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BlockSize returns tokens per block.
+func (m *Manager) BlockSize() int { return m.blockSize }
+
+// BlocksFor returns the number of blocks needed to hold tokens.
+func (m *Manager) BlocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + m.blockSize - 1) / m.blockSize
+}
+
+// TotalBlocks returns total GPU block capacity.
+func (m *Manager) TotalBlocks() int { return m.gpuBlocks }
+
+// FreeBlocks returns currently free GPU blocks.
+func (m *Manager) FreeBlocks() int { return m.gpuFree }
+
+// UsedBlocks returns currently allocated GPU blocks.
+func (m *Manager) UsedBlocks() int { return m.gpuBlocks - m.gpuFree }
+
+// FreeTokens returns the token capacity of the free GPU blocks.
+func (m *Manager) FreeTokens() int { return m.gpuFree * m.blockSize }
+
+// Utilization returns the used fraction of GPU blocks (0 when empty, and
+// 0 for a zero-capacity manager).
+func (m *Manager) Utilization() float64 {
+	if m.gpuBlocks == 0 {
+		return 0
+	}
+	return float64(m.UsedBlocks()) / float64(m.gpuBlocks)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Has reports whether the request has an allocation (on GPU or swapped).
+func (m *Manager) Has(id RequestID) bool {
+	_, ok := m.tables[id]
+	return ok
+}
+
+// LocationOf returns where the request's blocks live.
+func (m *Manager) LocationOf(id RequestID) (Location, error) {
+	t, ok := m.tables[id]
+	if !ok {
+		return OnGPU, ErrUnknownRequest
+	}
+	return t.loc, nil
+}
+
+// Tokens returns the number of tokens allocated for the request.
+func (m *Manager) Tokens(id RequestID) int {
+	if t, ok := m.tables[id]; ok {
+		return t.tokens
+	}
+	return 0
+}
+
+// CanAllocate reports whether tokens more could be allocated on GPU now.
+func (m *Manager) CanAllocate(tokens int) bool {
+	return m.BlocksFor(tokens) <= m.gpuFree
+}
+
+// Allocate reserves GPU blocks for a new request with the given context
+// length. Allocating an existing id is an error.
+func (m *Manager) Allocate(id RequestID, tokens int) error {
+	if _, ok := m.tables[id]; ok {
+		return fmt.Errorf("kvcache: request %d already allocated", id)
+	}
+	need := m.BlocksFor(tokens)
+	if need > m.gpuFree {
+		m.stats.FailedAllocs++
+		return ErrNoSpace
+	}
+	m.gpuFree -= need
+	m.tables[id] = &table{tokens: tokens, blocks: need, loc: OnGPU}
+	m.touchPeak()
+	return nil
+}
+
+// Grow extends a request's allocation to newTokens total (e.g. one more
+// token per decode step). Shrinking is not supported; growing a swapped
+// request is an error.
+func (m *Manager) Grow(id RequestID, newTokens int) error {
+	t, ok := m.tables[id]
+	if !ok {
+		return ErrUnknownRequest
+	}
+	if t.loc != OnGPU {
+		return fmt.Errorf("kvcache: request %d is swapped out", id)
+	}
+	if newTokens < t.tokens {
+		return fmt.Errorf("kvcache: cannot shrink request %d from %d to %d tokens", id, t.tokens, newTokens)
+	}
+	need := m.BlocksFor(newTokens) - t.blocks
+	if need > m.gpuFree {
+		m.stats.FailedAllocs++
+		return ErrNoSpace
+	}
+	m.gpuFree -= need
+	t.blocks += need
+	t.tokens = newTokens
+	m.touchPeak()
+	return nil
+}
+
+// Release frees all blocks of a request (on GPU or in swap).
+func (m *Manager) Release(id RequestID) error {
+	t, ok := m.tables[id]
+	if !ok {
+		return ErrUnknownRequest
+	}
+	if t.loc == OnGPU {
+		m.gpuFree += t.blocks
+	} else {
+		m.cpuFree += t.blocks
+	}
+	delete(m.tables, id)
+	return nil
+}
+
+// SwapOut moves a request's blocks to host memory, freeing GPU blocks.
+// Returns the number of tokens moved (for transfer timing).
+func (m *Manager) SwapOut(id RequestID) (tokens int, err error) {
+	t, ok := m.tables[id]
+	if !ok {
+		return 0, ErrUnknownRequest
+	}
+	if t.loc == Swapped {
+		return 0, fmt.Errorf("kvcache: request %d already swapped", id)
+	}
+	if t.blocks > m.cpuFree {
+		return 0, ErrNoCPUSpace
+	}
+	m.gpuFree += t.blocks
+	m.cpuFree -= t.blocks
+	t.loc = Swapped
+	m.stats.SwapOutEvents++
+	m.stats.SwapOutTokens += uint64(t.tokens)
+	return t.tokens, nil
+}
+
+// SwapIn moves a swapped request's blocks back to GPU memory.
+// Returns the number of tokens moved.
+func (m *Manager) SwapIn(id RequestID) (tokens int, err error) {
+	t, ok := m.tables[id]
+	if !ok {
+		return 0, ErrUnknownRequest
+	}
+	if t.loc == OnGPU {
+		return 0, fmt.Errorf("kvcache: request %d is not swapped", id)
+	}
+	if t.blocks > m.gpuFree {
+		m.stats.FailedAllocs++
+		return 0, ErrNoSpace
+	}
+	m.gpuFree -= t.blocks
+	m.cpuFree += t.blocks
+	t.loc = OnGPU
+	m.stats.SwapInEvents++
+	m.stats.SwapInTokens += uint64(t.tokens)
+	m.touchPeak()
+	return t.tokens, nil
+}
+
+// AllocateBackup reserves GPU blocks holding a *copy* of another
+// instance's KV cache for a request (WindServe's migration-cost
+// optimization, §3.3). Backups are identical to normal allocations except
+// they are flagged, so the engine can reclaim them first under pressure.
+func (m *Manager) AllocateBackup(id RequestID, tokens int) error {
+	if err := m.Allocate(id, tokens); err != nil {
+		return err
+	}
+	m.tables[id].isBackup = true
+	return nil
+}
+
+// IsBackup reports whether the request's allocation is a backup copy.
+func (m *Manager) IsBackup(id RequestID) bool {
+	t, ok := m.tables[id]
+	return ok && t.isBackup
+}
+
+// PromoteBackup converts a backup into a normal allocation (when the
+// backed-up request is actually rescheduled here).
+func (m *Manager) PromoteBackup(id RequestID) error {
+	t, ok := m.tables[id]
+	if !ok {
+		return ErrUnknownRequest
+	}
+	t.isBackup = false
+	return nil
+}
+
+// Backups returns the ids of all backup allocations.
+func (m *Manager) Backups() []RequestID {
+	var ids []RequestID
+	for id, t := range m.tables {
+		if t.isBackup {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// BackupBlocks returns the number of GPU blocks held by backups.
+func (m *Manager) BackupBlocks() int {
+	n := 0
+	for _, t := range m.tables {
+		if t.isBackup && t.loc == OnGPU {
+			n += t.blocks
+		}
+	}
+	return n
+}
+
+func (m *Manager) touchPeak() {
+	if used := m.UsedBlocks(); used > m.stats.PeakBlocks {
+		m.stats.PeakBlocks = used
+	}
+}
+
+func (m *Manager) String() string {
+	return fmt.Sprintf("kvcache: %d/%d GPU blocks used (%.0f%%), %d/%d CPU blocks used, %d requests",
+		m.UsedBlocks(), m.gpuBlocks, 100*m.Utilization(), m.cpuBlocks-m.cpuFree, m.cpuBlocks, len(m.tables))
+}

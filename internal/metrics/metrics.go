@@ -1,0 +1,361 @@
+// Package metrics records per-request latency timelines and instance-level
+// utilization for the WindServe experiments. The quantities here are
+// exactly the paper's evaluation metrics (§5.1): TTFT (arrival → first
+// token, including queuing), TPOT (mean per-token time after the first),
+// their percentiles, and the SLO attainment rate — the fraction of
+// requests meeting both the TTFT and TPOT SLOs.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"windserve/internal/sim"
+)
+
+// SLO is a service level objective pair (paper Table 4).
+type SLO struct {
+	TTFT sim.Duration
+	TPOT sim.Duration
+}
+
+// Record is the life of one request through the serving system.
+type Record struct {
+	ID           uint64
+	PromptTokens int
+	OutputTokens int
+
+	Arrival      sim.Time
+	PrefillStart sim.Time // prefill began executing
+	FirstToken   sim.Time // prefill finished (first output token emitted)
+	DecodeStart  sim.Time // first decode iteration began
+	Completion   sim.Time // EOS emitted
+
+	done bool
+}
+
+// TTFT is the time-to-first-token including queuing delay.
+func (r *Record) TTFT() sim.Duration { return r.FirstToken.Sub(r.Arrival) }
+
+// TPOT is the mean time per output token excluding the first. Requests
+// with a single output token have no inter-token gaps; their TPOT is 0.
+func (r *Record) TPOT() sim.Duration {
+	if r.OutputTokens <= 1 {
+		return 0
+	}
+	return sim.Duration(r.Completion.Sub(r.FirstToken).Seconds() / float64(r.OutputTokens-1))
+}
+
+// E2E is the total latency from arrival to completion.
+func (r *Record) E2E() sim.Duration { return r.Completion.Sub(r.Arrival) }
+
+// PrefillQueueDelay is the time spent waiting before prefill began.
+func (r *Record) PrefillQueueDelay() sim.Duration { return r.PrefillStart.Sub(r.Arrival) }
+
+// DecodeQueueDelay is the time between first token and the first decode
+// step (KV transfer + decode queue for disaggregated systems).
+func (r *Record) DecodeQueueDelay() sim.Duration {
+	if r.OutputTokens <= 1 {
+		return 0
+	}
+	return r.DecodeStart.Sub(r.FirstToken)
+}
+
+// MeetsSLO reports whether the request met both targets.
+func (r *Record) MeetsSLO(slo SLO) bool {
+	return r.TTFT() <= slo.TTFT && r.TPOT() <= slo.TPOT
+}
+
+// Recorder accumulates request records during a simulation.
+type Recorder struct {
+	open      map[uint64]*Record
+	completed []*Record
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[uint64]*Record)}
+}
+
+// Arrive registers a new request.
+func (rec *Recorder) Arrive(id uint64, prompt, output int, at sim.Time) {
+	if _, ok := rec.open[id]; ok {
+		panic(fmt.Sprintf("metrics: duplicate arrival for request %d", id))
+	}
+	rec.open[id] = &Record{ID: id, PromptTokens: prompt, OutputTokens: output, Arrival: at}
+}
+
+func (rec *Recorder) get(id uint64) *Record {
+	r, ok := rec.open[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown request %d", id))
+	}
+	return r
+}
+
+// PrefillStart marks the beginning of prefill execution. Called once; for
+// chunked prefill, on the first chunk.
+func (rec *Recorder) PrefillStart(id uint64, at sim.Time) {
+	r := rec.get(id)
+	if r.PrefillStart == 0 {
+		r.PrefillStart = at
+	}
+}
+
+// FirstToken marks prefill completion.
+func (rec *Recorder) FirstToken(id uint64, at sim.Time) { rec.get(id).FirstToken = at }
+
+// DecodeStart marks the first decode iteration (first call wins).
+func (rec *Recorder) DecodeStart(id uint64, at sim.Time) {
+	r := rec.get(id)
+	if r.DecodeStart == 0 {
+		r.DecodeStart = at
+	}
+}
+
+// Complete marks EOS and finalizes the record.
+func (rec *Recorder) Complete(id uint64, at sim.Time) {
+	r := rec.get(id)
+	r.Completion = at
+	r.done = true
+	rec.completed = append(rec.completed, r)
+	delete(rec.open, id)
+}
+
+// Completed returns finalized records in completion order.
+func (rec *Recorder) Completed() []*Record { return rec.completed }
+
+// Outstanding returns the number of requests still in flight.
+func (rec *Recorder) Outstanding() int { return len(rec.open) }
+
+// Summary is the digest the benchmark harness prints (one row per system
+// per request rate in Fig. 10/11).
+type Summary struct {
+	Requests int
+
+	TTFTP50, TTFTP90, TTFTP99 sim.Duration
+	TPOTP50, TPOTP90, TPOTP99 sim.Duration
+	TTFTMean, TPOTMean        sim.Duration
+
+	PrefillQueueMean sim.Duration
+	DecodeQueueMean  sim.Duration
+	DecodeQueueP99   sim.Duration
+
+	// Attainment is the fraction of requests meeting both SLOs; the
+	// TTFT/TPOT variants count each target alone (Fig. 12 diagnoses which
+	// target binds).
+	Attainment     float64
+	TTFTAttainment float64
+	TPOTAttainment float64
+
+	ThroughputRPS float64 // completed requests per second of span
+	TokensPerSec  float64 // output tokens per second of span
+}
+
+// Summarize digests the completed records against an SLO.
+func Summarize(records []*Record, slo SLO) Summary {
+	if len(records) == 0 {
+		return Summary{}
+	}
+	n := len(records)
+	ttft := make([]float64, n)
+	tpot := make([]float64, n)
+	var ttftSum, tpotSum, pqSum, dqSum float64
+	dq := make([]float64, n)
+	var meets, meetsTTFT, meetsTPOT int
+	minArr, maxDone := records[0].Arrival, records[0].Completion
+	outTokens := 0
+	for i, r := range records {
+		ttft[i] = r.TTFT().Seconds()
+		tpot[i] = r.TPOT().Seconds()
+		dq[i] = r.DecodeQueueDelay().Seconds()
+		ttftSum += ttft[i]
+		tpotSum += tpot[i]
+		pqSum += r.PrefillQueueDelay().Seconds()
+		dqSum += dq[i]
+		if r.TTFT() <= slo.TTFT {
+			meetsTTFT++
+		}
+		if r.TPOT() <= slo.TPOT {
+			meetsTPOT++
+		}
+		if r.MeetsSLO(slo) {
+			meets++
+		}
+		if r.Arrival < minArr {
+			minArr = r.Arrival
+		}
+		if r.Completion > maxDone {
+			maxDone = r.Completion
+		}
+		outTokens += r.OutputTokens
+	}
+	sort.Float64s(ttft)
+	sort.Float64s(tpot)
+	sort.Float64s(dq)
+	span := maxDone.Sub(minArr).Seconds()
+	s := Summary{
+		Requests: n,
+		TTFTP50:  sim.Seconds(pct(ttft, 50)),
+		TTFTP90:  sim.Seconds(pct(ttft, 90)),
+		TTFTP99:  sim.Seconds(pct(ttft, 99)),
+		TPOTP50:  sim.Seconds(pct(tpot, 50)),
+		TPOTP90:  sim.Seconds(pct(tpot, 90)),
+		TPOTP99:  sim.Seconds(pct(tpot, 99)),
+		TTFTMean: sim.Seconds(ttftSum / float64(n)),
+		TPOTMean: sim.Seconds(tpotSum / float64(n)),
+
+		PrefillQueueMean: sim.Seconds(pqSum / float64(n)),
+		DecodeQueueMean:  sim.Seconds(dqSum / float64(n)),
+		DecodeQueueP99:   sim.Seconds(pct(dq, 99)),
+
+		Attainment:     float64(meets) / float64(n),
+		TTFTAttainment: float64(meetsTTFT) / float64(n),
+		TPOTAttainment: float64(meetsTPOT) / float64(n),
+	}
+	if span > 0 {
+		s.ThroughputRPS = float64(n) / span
+		s.TokensPerSec = float64(outTokens) / span
+	}
+	return s
+}
+
+// pct interpolates a percentile on pre-sorted data.
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// WriteRecordsCSV emits one line per completed request — the raw material
+// for latency CDFs and scatter plots outside this repo.
+func WriteRecordsCSV(w io.Writer, records []*Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"id", "prompt_tokens", "output_tokens",
+		"arrival_s", "prefill_start_s", "first_token_s", "decode_start_s", "completion_s",
+		"ttft_ms", "tpot_ms", "e2e_ms", "prefill_queue_ms", "decode_queue_ms",
+	}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		rec := []string{
+			fmt.Sprintf("%d", r.ID),
+			fmt.Sprintf("%d", r.PromptTokens),
+			fmt.Sprintf("%d", r.OutputTokens),
+			fmt.Sprintf("%.6f", float64(r.Arrival)),
+			fmt.Sprintf("%.6f", float64(r.PrefillStart)),
+			fmt.Sprintf("%.6f", float64(r.FirstToken)),
+			fmt.Sprintf("%.6f", float64(r.DecodeStart)),
+			fmt.Sprintf("%.6f", float64(r.Completion)),
+			fmt.Sprintf("%.4f", r.TTFT().Milliseconds()),
+			fmt.Sprintf("%.4f", r.TPOT().Milliseconds()),
+			fmt.Sprintf("%.4f", r.E2E().Milliseconds()),
+			fmt.Sprintf("%.4f", r.PrefillQueueDelay().Milliseconds()),
+			fmt.Sprintf("%.4f", r.DecodeQueueDelay().Milliseconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Gauge integrates a piecewise-constant value over virtual time — used for
+// the Fig. 2 utilization measurements (tensor-core utilization of prefill
+// instances, memory-bandwidth utilization of decode instances).
+type Gauge struct {
+	weighted float64 // ∫ value dt
+	total    float64 // ∫ dt
+}
+
+// AddInterval accumulates value over [from, to].
+func (g *Gauge) AddInterval(from, to sim.Time, value float64) {
+	if to < from {
+		panic("metrics: gauge interval ends before it starts")
+	}
+	dt := to.Sub(from).Seconds()
+	g.weighted += value * dt
+	g.total += dt
+}
+
+// Mean returns the time-weighted mean over all recorded intervals,
+// treating uncovered time as not observed.
+func (g *Gauge) Mean() float64 {
+	if g.total == 0 {
+		return 0
+	}
+	return g.weighted / g.total
+}
+
+// MeanOver returns the time-weighted mean across a full window of length
+// span, counting unobserved time as zero (idle).
+func (g *Gauge) MeanOver(span sim.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return g.weighted / span.Seconds()
+}
+
+// ObservedTime returns the total covered time.
+func (g *Gauge) ObservedTime() sim.Duration { return sim.Seconds(g.total) }
+
+// Series is an append-only time series for plotted quantities (queue
+// depths, free blocks, ...).
+type Series struct {
+	Name string
+	T    []sim.Time
+	V    []float64
+}
+
+// Append adds a sample. Samples must arrive in time order.
+func (s *Series) Append(t sim.Time, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		panic("metrics: series sample out of order")
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Mean returns the unweighted mean of the samples.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Max returns the largest sample (0 if empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, v := range s.V {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"windserve/internal/engine"
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+	"windserve/internal/workload"
+)
+
+// runner holds the state every system run shares.
+type runner struct {
+	s   *sim.Simulator
+	rec *metrics.Recorder
+	cfg Config
+}
+
+func newRunner(cfg Config) *runner {
+	cfg.fillDefaults()
+	return &runner{s: sim.New(), rec: metrics.NewRecorder(), cfg: cfg}
+}
+
+// scheduleArrivals feeds the trace into the system via submit.
+func (r *runner) scheduleArrivals(reqs []workload.Request, submit func(*engine.Req)) {
+	for _, w := range reqs {
+		w := w
+		r.s.At(w.Arrival, func() {
+			r.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
+			submit(engine.NewReq(w))
+		})
+	}
+}
+
+// run drains the simulation (bounded by the horizon past the last arrival)
+// and assembles the shared parts of the result.
+func (r *runner) run(reqs []workload.Request, system string) *Result {
+	horizon := sim.Time(0)
+	if n := len(reqs); n > 0 {
+		horizon = reqs[n-1].Arrival
+	}
+	r.s.Run(horizon.Add(r.cfg.Horizon))
+	res := &Result{
+		System:     system,
+		Requests:   len(reqs),
+		Unfinished: r.rec.Outstanding(),
+		Elapsed:    r.s.Now(),
+		Records:    r.rec.Completed(),
+	}
+	res.Summary = metrics.Summarize(res.Records, r.cfg.SLO)
+	return res
+}
+
+// recorderHooks builds the metric-recording half of an instance's hooks;
+// systems extend the returned struct with their policy callbacks.
+func (r *runner) recorderHooks() engine.Hooks {
+	return engine.Hooks{
+		OnPrefillStart: func(q *engine.Req) { r.rec.PrefillStart(q.W.ID, r.s.Now()) },
+		OnFirstToken:   func(q *engine.Req) { r.rec.FirstToken(q.W.ID, r.s.Now()) },
+		OnPrefillDone:  nil, // system-specific; nil = admit locally
+		OnDecodeStart:  func(q *engine.Req) { r.rec.DecodeStart(q.W.ID, r.s.Now()) },
+		OnComplete:     func(q *engine.Req) { r.rec.Complete(q.W.ID, r.s.Now()) },
+	}
+}
+
+// utilization extracts Fig. 2's mean utilizations from an instance over
+// the run's elapsed span.
+func utilization(ins *engine.Instance, elapsed sim.Time) (compute, bw float64) {
+	span := sim.Duration(elapsed)
+	return ins.ComputeGauge.MeanOver(span), ins.BWGauge.MeanOver(span)
+}

@@ -1,0 +1,228 @@
+// Package serve wires complete serving systems out of the substrate
+// packages and runs them on workload traces:
+//
+//   - VLLM: a co-located engine with chunked prefill (the paper's vLLM
+//     v0.4.2 baseline).
+//   - DistServe: static phase disaggregation — prefill instance, decode
+//     instance, serial post-prefill KV transfer, no cross-instance
+//     scheduling (the paper's primary baseline).
+//   - WindServe: the paper's system — DistServe plus the Global Scheduler
+//     (Dynamic Prefill Dispatch, Dynamic Rescheduling), asynchronous
+//     overlapped KV transfer, stall-free migration with KV backups, and
+//     stream-based disaggregation in the decode instance.
+//
+// Ablations (WindServe-no-split, WindServe-no-resche, ...) are WindServe
+// with feature flags off, as in the paper's §5.4.
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/gpu"
+	"windserve/internal/metrics"
+	"windserve/internal/model"
+	"windserve/internal/perf"
+	"windserve/internal/sched"
+	"windserve/internal/sim"
+	"windserve/internal/trace"
+)
+
+// Config describes one experiment's fixed environment.
+type Config struct {
+	Model  model.Config
+	Topo   *gpu.Topology
+	Params perf.Params
+	SLO    metrics.SLO
+
+	// PrefillPlace and DecodePlace shape the PD instances
+	// (paper Table 3). VLLM uses ColocatedPlace instead.
+	PrefillPlace   perf.Placement
+	DecodePlace    perf.Placement
+	ColocatedPlace perf.Placement
+	// NumPrefill and NumDecode deploy that many instances of each shape
+	// (default 1 each, the paper's setup). Multi-instance routing — the
+	// paper's stated future work — is least-loaded for WindServe and
+	// round-robin for DistServe.
+	NumPrefill int
+	NumDecode  int
+
+	// BlockSize is the KV block granularity (tokens).
+	BlockSize int
+	// ReserveFrac is per-GPU memory held back for activations.
+	ReserveFrac float64
+	// CPUSwapTokens is per-instance host swap capacity in tokens.
+	CPUSwapTokens int
+	// MaxPrefillTokens bounds a whole-prompt prefill batch.
+	MaxPrefillTokens int
+	// ChunkSize is the chunked-prefill budget.
+	ChunkSize int
+	// MaxDecodeBatch bounds the running batch.
+	MaxDecodeBatch int
+	// Horizon caps the simulation after the last arrival (safety against
+	// saturated systems that would otherwise drain for hours of virtual
+	// time). Zero means 7200 s.
+	Horizon sim.Duration
+
+	Tracer *trace.Tracer
+
+	Wind WindOptions
+}
+
+// WindOptions are WindServe's policy knobs and ablation switches.
+type WindOptions struct {
+	// DisableSBD turns stream-based disaggregation off: dispatched
+	// prefills join hybrid batches (WindServe-no-split, Fig. 13a).
+	DisableSBD bool
+	// DisableResched turns Dynamic Rescheduling off
+	// (WindServe-no-resche, Fig. 13b).
+	DisableResched bool
+	// DisableDispatch turns Dynamic Prefill Dispatch off.
+	DisableDispatch bool
+	// DisableAsyncTransfer reverts to DistServe-style serial transfers.
+	DisableAsyncTransfer bool
+	// DisableBackup turns proactive KV backups off.
+	DisableBackup bool
+
+	// ThresholdFrac sets Algorithm 1's thrd = frac × TTFT SLO. The paper
+	// sets the threshold "slightly below the TTFT SLO"; default 0.8.
+	ThresholdFrac float64
+	// KVSafetyFrac keeps this fraction of decode KV free of assists.
+	KVSafetyFrac float64
+	// RefDecodeBatch sizes the assist budget (defaults to 16 requests at
+	// half the model's context).
+	RefDecodeBatch perf.Batch
+
+	Resched sched.ReschedulePolicy
+	Backup  sched.BackupPolicy
+}
+
+// PaperPlacement returns Table 3's placement for a model.
+func PaperPlacement(m model.Config) (prefill, decode perf.Placement) {
+	switch m.Name {
+	case "OPT-66B", "LLaMA2-70B":
+		return perf.Placement{TP: 2, PP: 2}, perf.Placement{TP: 2, PP: 2}
+	default:
+		return perf.Placement{TP: 2, PP: 1}, perf.Placement{TP: 2, PP: 1}
+	}
+}
+
+// PaperSLO returns Table 4's SLOs for a model.
+func PaperSLO(m model.Config) (metrics.SLO, error) {
+	switch m.Name {
+	case "OPT-13B":
+		return metrics.SLO{TTFT: sim.Seconds(0.25), TPOT: sim.Seconds(0.1)}, nil
+	case "OPT-66B":
+		return metrics.SLO{TTFT: sim.Seconds(0.8), TPOT: sim.Seconds(0.15)}, nil
+	case "LLaMA2-13B":
+		return metrics.SLO{TTFT: sim.Seconds(4), TPOT: sim.Seconds(0.1)}, nil
+	case "LLaMA2-70B":
+		return metrics.SLO{TTFT: sim.Seconds(15), TPOT: sim.Seconds(0.5)}, nil
+	default:
+		return metrics.SLO{}, fmt.Errorf("serve: no paper SLO for %s", m.Name)
+	}
+}
+
+// TotalGPUs returns the device count of the PD deployment (all prefill
+// and decode instances) — the denominator of the linear scaling rule.
+func (c Config) TotalGPUs() int {
+	np, nd := c.NumPrefill, c.NumDecode
+	if np <= 0 {
+		np = 1
+	}
+	if nd <= 0 {
+		nd = 1
+	}
+	return np*c.PrefillPlace.GPUs() + nd*c.DecodePlace.GPUs()
+}
+
+// DeriveTPOTSLO computes a TPOT SLO the way the paper does (§5.2): 4× the
+// execution time of one decode iteration for a batch of 16 requests at
+// the workload's average context length, running without prefill
+// interference.
+func DeriveTPOTSLO(cm *perf.CostModel, avgContextTokens int) sim.Duration {
+	return 4 * cm.DecodeTime(16, 16*avgContextTokens)
+}
+
+// DefaultConfig builds the paper's experiment configuration for a model:
+// Table 3 placements, Table 4 SLOs, the Fig. 9 testbed, and the serving
+// defaults shared by every system.
+func DefaultConfig(m model.Config) (Config, error) {
+	slo, err := PaperSLO(m)
+	if err != nil {
+		return Config{}, err
+	}
+	pre, dec := PaperPlacement(m)
+	cfg := Config{
+		Model:          m,
+		Topo:           gpu.PaperTestbed(),
+		Params:         perf.DefaultParams(),
+		SLO:            slo,
+		PrefillPlace:   pre,
+		DecodePlace:    dec,
+		ColocatedPlace: pre, // vLLM replicas use the prefill shape
+
+		BlockSize:        16,
+		ReserveFrac:      0.1,
+		CPUSwapTokens:    1 << 18, // ~256k tokens of host swap
+		MaxPrefillTokens: 8192,
+		ChunkSize:        512,
+		MaxDecodeBatch:   256,
+		Wind:             DefaultWindOptions(),
+	}
+	return cfg, nil
+}
+
+// DefaultWindOptions returns the paper-calibrated WindServe policies.
+func DefaultWindOptions() WindOptions {
+	return WindOptions{
+		ThresholdFrac: 0.8,
+		KVSafetyFrac:  0.06,
+		Resched:       sched.DefaultReschedulePolicy(),
+		Backup:        sched.DefaultBackupPolicy(),
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumPrefill <= 0 {
+		c.NumPrefill = 1
+	}
+	if c.NumDecode <= 0 {
+		c.NumDecode = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 16
+	}
+	if c.ReserveFrac <= 0 {
+		c.ReserveFrac = 0.1
+	}
+	if c.CPUSwapTokens <= 0 {
+		c.CPUSwapTokens = 1 << 18
+	}
+	if c.MaxPrefillTokens <= 0 {
+		c.MaxPrefillTokens = 8192
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 512
+	}
+	if c.MaxDecodeBatch <= 0 {
+		c.MaxDecodeBatch = 256
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = sim.Seconds(7200)
+	}
+	if c.Wind.ThresholdFrac <= 0 {
+		c.Wind.ThresholdFrac = 0.8
+	}
+	if c.Wind.KVSafetyFrac <= 0 {
+		c.Wind.KVSafetyFrac = 0.06
+	}
+	if c.Wind.Resched == (sched.ReschedulePolicy{}) {
+		c.Wind.Resched = sched.DefaultReschedulePolicy()
+	}
+	if c.Wind.Backup == (sched.BackupPolicy{}) {
+		c.Wind.Backup = sched.DefaultBackupPolicy()
+	}
+	if c.Wind.RefDecodeBatch.Empty() {
+		c.Wind.RefDecodeBatch = perf.DecodeOnly(16, 16*c.Model.MaxContext/2)
+	}
+}

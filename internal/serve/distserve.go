@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/cluster"
+	"windserve/internal/engine"
+	"windserve/internal/kvcache"
+	"windserve/internal/trace"
+	"windserve/internal/workload"
+	"windserve/internal/xfer"
+)
+
+// RunDistServe simulates the static phase-disaggregated baseline: prefill
+// and decode instances with FCFS local schedulers and no cross-instance
+// coordination (§2.2). After a prompt prefills, its KV cache crosses the
+// interconnect serially (blocking that request's decode start), the
+// prefill-side copy is dropped, and the request queues for decode
+// admission — the behaviors whose costs Fig. 1 and Fig. 3 measure.
+//
+// With multiple instances (Config.NumPrefill/NumDecode), requests are
+// routed round-robin — DistServe's orchestration is static.
+func RunDistServe(cfg Config, reqs []workload.Request) (*Result, error) {
+	r := newRunner(cfg)
+	cfg = r.cfg
+
+	d, err := newPD(r, cfg, pdHooks{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: planning DistServe: %w", err)
+	}
+	r.scheduleArrivals(reqs, func(q *engine.Req) {
+		d.prefillRR(q)
+	})
+	res := r.run(reqs, "DistServe")
+	d.finalize(res)
+	return res, nil
+}
+
+// pd is the shared prefill+decode cluster both DistServe and WindServe
+// build on. DistServe uses it as-is with round-robin routing; WindServe
+// attaches the Global Scheduler.
+type pd struct {
+	r        *runner
+	cfg      Config
+	prefills []*engine.Instance
+	decodes  []*engine.Instance
+	// p2d[i][j] carries post-prefill KV transfers from prefill i to
+	// decode j; d2p[j][i] carries migrations and backups the other way.
+	p2d, d2p [][]*xfer.Link
+
+	// prefillAt and decodeAt remember each request's instances, so
+	// transfers pick the right link and releases hit the right manager.
+	prefillAt map[uint64]int
+	decodeAt  map[uint64]int
+
+	// transferPending are prefilled requests waiting for decode KV.
+	transferPending []*engine.Req
+
+	rr struct{ prefill, decode int }
+
+	// stats
+	asyncXfers int
+}
+
+// pdHooks lets WindServe inject policy into the shared wiring.
+type pdHooks struct {
+	// onPrefillStart fires at a prefill instance (async transfers).
+	onPrefillStart func(q *engine.Req)
+	// transfer overrides the post-prefill transfer path. Return true if
+	// handled; false falls back to the serial DistServe path.
+	transfer func(q *engine.Req) bool
+	// onDecodeIterEnd fires after each pass of decode instance j.
+	onDecodeIterEnd func(j int)
+	// onComplete observes completions on any instance (backup cleanup).
+	onComplete func(q *engine.Req)
+	// decodeSBD enables the second stream on decode instances.
+	decodeSBD bool
+	// decodeAllowPrefill lets decode instances run prefill in their main
+	// stream (WindServe-no-split ablation).
+	decodeAllowPrefill bool
+}
+
+func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
+	specs := make([]cluster.InstanceSpec, 0, cfg.NumPrefill+cfg.NumDecode)
+	for i := 0; i < cfg.NumPrefill; i++ {
+		specs = append(specs, cluster.InstanceSpec{Role: cluster.RolePrefill, Place: cfg.PrefillPlace})
+	}
+	for i := 0; i < cfg.NumDecode; i++ {
+		specs = append(specs, cluster.InstanceSpec{Role: cluster.RoleDecode, Place: cfg.DecodePlace})
+	}
+	asg, err := cluster.Plan(cfg.Topo, cfg.Model, cfg.Params, cfg.ReserveFrac, specs...)
+	if err != nil {
+		return nil, err
+	}
+	pAsg, dAsg := asg[:cfg.NumPrefill], asg[cfg.NumPrefill:]
+
+	d := &pd{
+		r: r, cfg: cfg,
+		prefillAt: make(map[uint64]int),
+		decodeAt:  make(map[uint64]int),
+	}
+	d.p2d = make([][]*xfer.Link, cfg.NumPrefill)
+	d.d2p = make([][]*xfer.Link, cfg.NumDecode)
+	for i := range d.p2d {
+		d.p2d[i] = make([]*xfer.Link, cfg.NumDecode)
+		for j := range d.p2d[i] {
+			spec := cluster.TransferLink(cfg.Topo, pAsg[i], dAsg[j])
+			d.p2d[i][j] = xfer.NewLink(r.s, fmt.Sprintf("p%d-d%d", i, j), spec, xfer.DefaultEfficiency)
+		}
+	}
+	for j := range d.d2p {
+		d.d2p[j] = make([]*xfer.Link, cfg.NumPrefill)
+		for i := range d.d2p[j] {
+			spec := cluster.TransferLink(cfg.Topo, dAsg[j], pAsg[i])
+			d.d2p[j][i] = xfer.NewLink(r.s, fmt.Sprintf("d%d-p%d", j, i), spec, xfer.DefaultEfficiency)
+		}
+	}
+
+	for i, a := range pAsg {
+		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		host := xfer.NewLink(r.s, fmt.Sprintf("prefill%d-host", i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		hooks := r.recorderHooks()
+		hooks.OnPrefillStart = func(q *engine.Req) {
+			r.rec.PrefillStart(q.W.ID, r.s.Now())
+			if ph.onPrefillStart != nil {
+				ph.onPrefillStart(q)
+			}
+		}
+		hooks.OnPrefillDone = func(q *engine.Req) {
+			if ph.transfer != nil && ph.transfer(q) {
+				return
+			}
+			d.serialTransfer(q)
+		}
+		if ph.onComplete != nil {
+			base := hooks.OnComplete
+			hooks.OnComplete = func(q *engine.Req) {
+				base(q)
+				ph.onComplete(q)
+			}
+		}
+		ins, err := engine.NewInstance(r.s, engine.Config{
+			Name: fmt.Sprintf("prefill-%d", i), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
+			AllowPrefill: true, ChunkSize: cfg.ChunkSize,
+			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
+		}, hooks)
+		if err != nil {
+			return nil, err
+		}
+		d.prefills = append(d.prefills, ins)
+	}
+
+	for j, a := range dAsg {
+		j := j
+		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		host := xfer.NewLink(r.s, fmt.Sprintf("decode%d-host", j), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		hooks := r.recorderHooks()
+		hooks.OnPrefillDone = func(q *engine.Req) {
+			// Only reachable for dispatched assists (WindServe): the first
+			// token was produced here and the KV is already local.
+			d.decodes[j].AdmitDecode(q)
+		}
+		hooks.OnIterationEnd = func() {
+			d.retryTransfers()
+			if ph.onDecodeIterEnd != nil {
+				ph.onDecodeIterEnd(j)
+			}
+		}
+		hooks.OnEvicted = func(q *engine.Req) {
+			// Out of swap space: recompute from scratch on a prefill
+			// instance.
+			q.Assist = false
+			delete(d.decodeAt, q.W.ID)
+			d.prefillRR(q)
+		}
+		base := hooks.OnComplete
+		hooks.OnComplete = func(q *engine.Req) {
+			base(q)
+			if ph.onComplete != nil {
+				ph.onComplete(q)
+			}
+			delete(d.decodeAt, q.W.ID)
+			delete(d.prefillAt, q.W.ID)
+			d.retryTransfers()
+		}
+		ins, err := engine.NewInstance(r.s, engine.Config{
+			Name: fmt.Sprintf("decode-%d", j), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
+			AllowPrefill: ph.decodeAllowPrefill, ChunkSize: cfg.ChunkSize,
+			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
+			SBD: ph.decodeSBD,
+		}, hooks)
+		if err != nil {
+			return nil, err
+		}
+		d.decodes = append(d.decodes, ins)
+	}
+	return d, nil
+}
+
+// prefillRR enqueues a request on the next prefill instance round-robin.
+func (d *pd) prefillRR(q *engine.Req) {
+	i := d.rr.prefill % len(d.prefills)
+	d.rr.prefill++
+	d.prefillAt[q.W.ID] = i
+	d.prefills[i].EnqueuePrefill(q)
+}
+
+// prefillIdx returns the prefill instance a request belongs to (0 if it
+// was never routed — defensive).
+func (d *pd) prefillIdx(q *engine.Req) int { return d.prefillAt[q.W.ID] }
+
+// pickDecode returns the decode instance with the most free KV tokens.
+func (d *pd) pickDecode() int {
+	best := 0
+	for j := 1; j < len(d.decodes); j++ {
+		if d.decodes[j].FreeKVTokens() > d.decodes[best].FreeKVTokens() {
+			best = j
+		}
+	}
+	return best
+}
+
+// kvBytes is the payload size of a request's KV cache at a token count.
+func (d *pd) kvBytes(tokens int) float64 {
+	return float64(tokens) * d.cfg.Model.KVBytesPerToken()
+}
+
+// serialTransfer is DistServe's path: after prefill, allocate at a decode
+// instance (or queue until blocks free), then occupy the link for the
+// full payload; only then may decoding start.
+func (d *pd) serialTransfer(q *engine.Req) {
+	q.Phase = engine.PhaseTransferring
+	if !d.tryStartTransfer(q) {
+		d.transferPending = append(d.transferPending, q)
+	}
+}
+
+func (d *pd) tryStartTransfer(q *engine.Req) bool {
+	// Static round-robin for DistServe-style transfers, but skip decode
+	// instances that cannot hold the request right now.
+	n := len(d.decodes)
+	for k := 0; k < n; k++ {
+		j := (d.rr.decode + k) % n
+		if d.decodes[j].KV().Allocate(q.KVID(), q.Ctx()+1) == nil {
+			d.rr.decode = (j + 1) % n
+			d.decodeAt[q.W.ID] = j
+			i := d.prefillIdx(q)
+			start := d.r.s.Now()
+			d.p2d[i][j].Transfer(d.kvBytes(q.Ctx()), func() {
+				d.cfg.Tracer.Add(fmt.Sprintf("link p%d-d%d", i, j), trace.KindKVTransfer, start, d.r.s.Now(),
+					fmt.Sprintf("req%d %d tokens", q.W.ID, q.Ctx()))
+				d.prefills[i].ReleaseKV(q)
+				d.decodes[j].AdmitDecode(q)
+			})
+			return true
+		}
+	}
+	return false
+}
+
+// retryTransfers re-attempts queued transfers FCFS whenever decode blocks
+// may have freed.
+func (d *pd) retryTransfers() {
+	for len(d.transferPending) > 0 {
+		if !d.tryStartTransfer(d.transferPending[0]) {
+			return
+		}
+		d.transferPending = d.transferPending[1:]
+	}
+}
+
+// finalize fills the pd-specific parts of a result, aggregating across
+// instances.
+func (d *pd) finalize(res *Result) {
+	var pStats, dStats kvcache.Stats
+	var pcu, pbu, dcu, dbu, stall float64
+	for _, ins := range d.prefills {
+		addStats(&pStats, ins.KV().Stats())
+		c, b := utilization(ins, res.Elapsed)
+		pcu += c
+		pbu += b
+		stall += ins.SwapStall.Seconds()
+	}
+	for _, ins := range d.decodes {
+		addStats(&dStats, ins.KV().Stats())
+		c, b := utilization(ins, res.Elapsed)
+		dcu += c
+		dbu += b
+		stall += ins.SwapStall.Seconds()
+	}
+	res.PrefillKV, res.DecodeKV = pStats, dStats
+	res.PrefillComputeUtil = pcu / float64(len(d.prefills))
+	res.PrefillBWUtil = pbu / float64(len(d.prefills))
+	res.DecodeComputeUtil = dcu / float64(len(d.decodes))
+	res.DecodeBWUtil = dbu / float64(len(d.decodes))
+	res.SwapStallSec = stall
+	for i := range d.p2d {
+		for j := range d.p2d[i] {
+			res.TransferGB += d.p2d[i][j].BytesMoved / 1e9
+		}
+	}
+	for j := range d.d2p {
+		for i := range d.d2p[j] {
+			gb := d.d2p[j][i].BytesMoved / 1e9
+			res.TransferGB += gb
+			res.MigrationGB += gb
+		}
+	}
+	res.AsyncXfers = d.asyncXfers
+}
+
+func addStats(dst *kvcache.Stats, s kvcache.Stats) {
+	dst.SwapOutEvents += s.SwapOutEvents
+	dst.SwapInEvents += s.SwapInEvents
+	dst.SwapOutTokens += s.SwapOutTokens
+	dst.SwapInTokens += s.SwapInTokens
+	dst.FailedAllocs += s.FailedAllocs
+	if s.PeakBlocks > dst.PeakBlocks {
+		dst.PeakBlocks = s.PeakBlocks
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"windserve/internal/model"
+	"windserve/internal/sim"
+	"windserve/internal/workload"
+)
+
+// TestPropertySystemInvariants fuzzes all three systems across random
+// seeds, rates, and models, and checks conservation invariants:
+//
+//   - every submitted request completes exactly once (or is counted
+//     unfinished at the horizon),
+//   - completed records carry physically-consistent timestamps,
+//   - output token counts match the workload exactly.
+func TestPropertySystemInvariants(t *testing.T) {
+	systems := []struct {
+		name string
+		run  runFn
+	}{
+		{"vLLM", RunVLLM}, {"DistServe", RunDistServe}, {"WindServe", RunWindServe},
+	}
+	models := []model.Config{model.OPT13B, model.LLaMA213B}
+	datasets := []workload.Dataset{workload.ShareGPT(), workload.LongBench()}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		m := models[rng.Intn(len(models))]
+		ds := datasets[rng.Intn(len(datasets))]
+		if ds.MaxContext > m.MaxContext {
+			ds.MaxContext = m.MaxContext
+		}
+		rate := 1 + rng.Float64()*4
+		seed := rng.Int63()
+		cfg, err := DefaultConfig(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Horizon = sim.Seconds(600)
+		g := workload.NewGenerator(ds, workload.PoissonArrivals{Rate: rate * 4}, seed)
+		reqs := g.Generate(150)
+		byID := map[uint64]workload.Request{}
+		for _, w := range reqs {
+			byID[w.ID] = w
+		}
+		for _, sys := range systems {
+			res, err := sys.run(cfg, reqs)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, sys.name, err)
+			}
+			if got := len(res.Records) + res.Unfinished; got != len(reqs) {
+				t.Fatalf("trial %d %s: %d completed + %d unfinished != %d submitted",
+					trial, sys.name, len(res.Records), res.Unfinished, len(reqs))
+			}
+			seen := map[uint64]bool{}
+			for _, r := range res.Records {
+				if seen[r.ID] {
+					t.Fatalf("trial %d %s: request %d completed twice", trial, sys.name, r.ID)
+				}
+				seen[r.ID] = true
+				w, ok := byID[r.ID]
+				if !ok {
+					t.Fatalf("trial %d %s: unknown request %d completed", trial, sys.name, r.ID)
+				}
+				if r.OutputTokens != w.OutputTokens || r.PromptTokens != w.PromptTokens {
+					t.Fatalf("trial %d %s: request %d token counts mutated", trial, sys.name, r.ID)
+				}
+				// Timeline sanity: arrival <= prefill start <= first token
+				// <= completion; decode start within [first token, completion].
+				if r.PrefillStart < r.Arrival || r.FirstToken < r.PrefillStart || r.Completion < r.FirstToken {
+					t.Fatalf("trial %d %s: request %d timeline inverted: %+v", trial, sys.name, r.ID, r)
+				}
+				if w.OutputTokens > 1 && (r.DecodeStart < r.FirstToken || r.DecodeStart > r.Completion) {
+					t.Fatalf("trial %d %s: request %d decode start out of range", trial, sys.name, r.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestSameTraceAcrossSystems checks that system comparison is apples to
+// apples: all systems consume the identical arrival times.
+func TestSameTraceAcrossSystems(t *testing.T) {
+	cfg := cfg13B(t)
+	reqs := trace13B(3, 100, 5)
+	for name, run := range allSystems() {
+		res, err := run(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Records {
+			if r.Arrival != reqs[r.ID-1].Arrival {
+				t.Fatalf("%s: request %d arrival drifted", name, r.ID)
+			}
+		}
+	}
+}

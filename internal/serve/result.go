@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/kvcache"
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+)
+
+// Result is what one system run produces — the row material for every
+// figure in the paper's evaluation.
+type Result struct {
+	System   string
+	Requests int
+	// Unfinished counts requests still in flight when the simulation hit
+	// its horizon (a saturated system).
+	Unfinished int
+	Elapsed    sim.Time
+
+	Summary metrics.Summary
+	Records []*metrics.Record
+
+	// Per-instance allocator stats (Fig. 1a's swap counts).
+	PrefillKV, DecodeKV kvcache.Stats
+
+	// Mean utilizations over the whole run (Fig. 2). For VLLM both pairs
+	// report the single co-located instance.
+	PrefillComputeUtil, PrefillBWUtil float64
+	DecodeComputeUtil, DecodeBWUtil   float64
+
+	// WindServe activity counters.
+	Dispatched   int     // prefills sent to the decode instance
+	Rescheduled  int     // decode jobs migrated to the prefill instance
+	Backups      int     // proactive KV backups taken
+	AsyncXfers   int     // transfers overlapped with prefill
+	TransferGB   float64 // all cross-instance traffic
+	MigrationGB  float64 // decode→prefill traffic (migrations + backups)
+	SwapStallSec float64 // engine time lost to swap synchronization
+}
+
+func (r *Result) String() string {
+	s := r.Summary
+	return fmt.Sprintf(
+		"%s: %d reqs (%d unfinished) | TTFT p50=%v p99=%v | TPOT p90=%v p99=%v | SLO %.1f%% (ttft %.1f%%, tpot %.1f%%)",
+		r.System, r.Requests, r.Unfinished,
+		s.TTFTP50, s.TTFTP99, s.TPOTP90, s.TPOTP99,
+		100*s.Attainment, 100*s.TTFTAttainment, 100*s.TPOTAttainment)
+}

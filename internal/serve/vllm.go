@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/cluster"
+	"windserve/internal/engine"
+	"windserve/internal/kvcache"
+	"windserve/internal/workload"
+	"windserve/internal/xfer"
+)
+
+// RunVLLM simulates the co-located baseline: continuous batching with
+// chunked prefill enabled (the configuration the paper compares against,
+// vLLM v0.4.2 with chunked prefill). Prefill and decode jobs share hybrid
+// batches, so each decode iteration pays the prefill chunks' latency —
+// the interference PD systems remove.
+//
+// To occupy the same GPU budget as the disaggregated pair (the paper's
+// linear scaling rule compares per-GPU rates), vLLM deploys
+// (prefill+decode GPUs) / ColocatedPlace.GPUs() identical replicas with
+// round-robin request routing.
+func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
+	r := newRunner(cfg)
+	cfg = r.cfg
+
+	totalGPUs := cfg.TotalGPUs()
+	replicas := totalGPUs / cfg.ColocatedPlace.GPUs()
+	if replicas < 1 {
+		replicas = 1
+	}
+	specs := make([]cluster.InstanceSpec, replicas)
+	for i := range specs {
+		specs[i] = cluster.InstanceSpec{Role: cluster.RoleColocated, Place: cfg.ColocatedPlace}
+	}
+	asg, err := cluster.Plan(cfg.Topo, cfg.Model, cfg.Params, cfg.ReserveFrac, specs...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: planning vLLM: %w", err)
+	}
+
+	instances := make([]*engine.Instance, replicas)
+	kvs := make([]*kvcache.Manager, replicas)
+	for i, a := range asg {
+		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		kvs[i] = kv
+		host := xfer.NewLink(r.s, fmt.Sprintf("host-%d", i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		hooks := r.recorderHooks() // nil OnPrefillDone: finished prompts join the local batch
+		ins, err := engine.NewInstance(r.s, engine.Config{
+			Name: fmt.Sprintf("vllm-%d", i), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
+			AllowPrefill: true, ChunkSize: cfg.ChunkSize, AlwaysChunk: true,
+			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
+		}, hooks)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = ins
+	}
+
+	next := 0
+	r.scheduleArrivals(reqs, func(q *engine.Req) {
+		instances[next%replicas].EnqueuePrefill(q)
+		next++
+	})
+	res := r.run(reqs, "vLLM")
+
+	// Aggregate replica telemetry.
+	var stats kvcache.Stats
+	var cu, bu, stall float64
+	for i, ins := range instances {
+		st := kvs[i].Stats()
+		stats.SwapOutEvents += st.SwapOutEvents
+		stats.SwapInEvents += st.SwapInEvents
+		stats.SwapOutTokens += st.SwapOutTokens
+		stats.SwapInTokens += st.SwapInTokens
+		stats.FailedAllocs += st.FailedAllocs
+		if st.PeakBlocks > stats.PeakBlocks {
+			stats.PeakBlocks = st.PeakBlocks
+		}
+		c, b := utilization(ins, res.Elapsed)
+		cu += c
+		bu += b
+		stall += ins.SwapStall.Seconds()
+	}
+	res.DecodeKV = stats
+	res.PrefillKV = stats
+	res.PrefillComputeUtil, res.PrefillBWUtil = cu/float64(replicas), bu/float64(replicas)
+	res.DecodeComputeUtil, res.DecodeBWUtil = res.PrefillComputeUtil, res.PrefillBWUtil
+	res.SwapStallSec = stall
+	return res, nil
+}

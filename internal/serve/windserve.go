@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/engine"
+	"windserve/internal/sched"
+	"windserve/internal/sim"
+	"windserve/internal/trace"
+	"windserve/internal/workload"
+)
+
+// RunWindServe simulates the paper's system: phase disaggregation plus
+//
+//   - a Global Scheduler whose Profiler predicts iteration times from
+//     offline regression (eqs. 1–2) and whose Coordinator runs Dynamic
+//     Prefill Dispatch (Algorithm 1) on every arrival and Dynamic
+//     Rescheduling on decode KV pressure;
+//   - asynchronous KV transfer overlapped with prefill computation;
+//   - stall-free rescheduling — migrating decode jobs keep decoding while
+//     their KV copies, pausing only for a bounded final tail;
+//   - proactive KV backups of long-context requests in prefill instances'
+//     spare memory, shrinking later migrations to a delta;
+//   - stream-based disaggregation in decode instances, running dispatched
+//     prefills in a second stream.
+//
+// With multiple instances the Global Scheduler also load-balances:
+// arrivals go to the least-loaded prefill instance, transfers and
+// dispatches target the decode instance with the most free KV, and
+// migrations pick the prefill instance with the most spare blocks.
+// The ablations of §5.4 are flags in Config.Wind.
+func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
+	r := newRunner(cfg)
+	cfg = r.cfg
+
+	w := &windState{
+		r:              r,
+		cfg:            cfg,
+		async:          make(map[uint64]*asyncXfer),
+		migrations:     make(map[uint64]*migration),
+		backupInFlight: make(map[uint64]bool),
+		backupAt:       make(map[uint64]int),
+	}
+	d, err := newPD(r, cfg, pdHooks{
+		onPrefillStart:     w.maybeStartAsyncTransfer,
+		transfer:           w.finishPrefillTransfer,
+		onDecodeIterEnd:    w.onDecodeIterEnd,
+		onComplete:         w.onComplete,
+		decodeSBD:          !cfg.Wind.DisableSBD,
+		decodeAllowPrefill: cfg.Wind.DisableSBD,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: planning WindServe: %w", err)
+	}
+	w.d = d
+
+	prof, err := sched.Profile(d.prefills[0].CM(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: profiling: %w", err)
+	}
+	budget := sched.AssistBudget(d.decodes[0].CM(), cfg.Wind.RefDecodeBatch, cfg.SLO.TPOT)
+	dkv := d.decodes[0].KV()
+	w.coord = &sched.Coordinator{
+		Prof:           prof,
+		Thrd:           sim.Duration(cfg.Wind.ThresholdFrac * cfg.SLO.TTFT.Seconds()),
+		BudgetTokens:   budget,
+		KVSafetyTokens: int(cfg.Wind.KVSafetyFrac * float64(dkv.TotalBlocks()*dkv.BlockSize())),
+	}
+
+	r.scheduleArrivals(reqs, w.submit)
+	res := r.run(reqs, w.systemName())
+	d.finalize(res)
+	res.Dispatched = w.dispatched
+	res.Rescheduled = w.rescheduled
+	res.Backups = w.backups
+	return res, nil
+}
+
+type windState struct {
+	r     *runner
+	cfg   Config
+	d     *pd
+	coord *sched.Coordinator
+
+	async          map[uint64]*asyncXfer
+	migrations     map[uint64]*migration
+	backupInFlight map[uint64]bool
+	backupAt       map[uint64]int // request → prefill instance holding its backup
+
+	dispatched  int
+	rescheduled int
+	backups     int
+}
+
+func (w *windState) systemName() string {
+	switch {
+	case w.cfg.Wind.DisableSBD:
+		return "WindServe-no-split"
+	case w.cfg.Wind.DisableResched:
+		return "WindServe-no-resche"
+	case w.cfg.Wind.DisableDispatch:
+		return "WindServe-no-dispatch"
+	case w.cfg.Wind.DisableAsyncTransfer:
+		return "WindServe-no-async"
+	default:
+		return "WindServe"
+	}
+}
+
+// leastLoadedPrefillIdx is the dispatch-view prefill target.
+func (w *windState) leastLoadedPrefillIdx() int {
+	best := 0
+	for i := 1; i < len(w.d.prefills); i++ {
+		if w.d.prefills[i].QueuedPrefillTokens() < w.d.prefills[best].QueuedPrefillTokens() {
+			best = i
+		}
+	}
+	return best
+}
+
+// freestPrefillIdx is the migration/backup target: most free KV tokens.
+func (w *windState) freestPrefillIdx() int {
+	best := 0
+	for i := 1; i < len(w.d.prefills); i++ {
+		if w.d.prefills[i].FreeKVTokens() > w.d.prefills[best].FreeKVTokens() {
+			best = i
+		}
+	}
+	return best
+}
+
+// submit routes an arrival through Dynamic Prefill Dispatch (Algorithm 1).
+func (w *windState) submit(q *engine.Req) {
+	pi := w.leastLoadedPrefillIdx()
+	if !w.cfg.Wind.DisableDispatch {
+		dj := w.d.pickDecode()
+		dec := w.d.decodes[dj]
+		in := sched.DispatchInput{
+			NewPromptTokens:      q.W.PromptTokens,
+			QueuedPrefillTokens:  w.d.prefills[pi].QueuedPrefillTokens(),
+			PrefillBusyRemaining: w.d.prefills[pi].BusyRemaining(),
+			DecodeFreeKVTokens:   dec.FreeKVTokens(),
+			AssistInFlightTokens: dec.AssistPendingTokens() + dec.QueuedPrefillTokens(),
+		}
+		decision := w.coord.DecideDispatch(in)
+		if decision.ToDecode && dec.KV().Allocate(q.KVID(), q.W.PromptTokens+1) == nil {
+			w.dispatched++
+			w.d.decodeAt[q.W.ID] = dj
+			now := w.r.s.Now()
+			w.cfg.Tracer.Add("scheduler", trace.KindDispatch, now, now,
+				fmt.Sprintf("req%d→decode-%d pred=%v", q.W.ID, dj, decision.PredictedTTFT))
+			dec.EnqueueAssist(q)
+			return
+		}
+	}
+	w.d.prefillAt[q.W.ID] = pi
+	w.d.prefills[pi].EnqueuePrefill(q)
+}
+
+// asyncXfer tracks a transfer overlapped with prefill: the request may
+// only start decoding when both the prefill and the copy have finished.
+type asyncXfer struct {
+	xferDone    bool
+	prefillDone bool
+	decodeIdx   int
+}
+
+// maybeStartAsyncTransfer begins streaming a request's KV to a decode
+// instance as its prefill starts (layer-by-layer in the real system; here
+// the copy and the compute occupy their resources concurrently and the
+// request proceeds at whichever finishes last).
+func (w *windState) maybeStartAsyncTransfer(q *engine.Req) {
+	if w.cfg.Wind.DisableAsyncTransfer || q.Assist {
+		return
+	}
+	dj := w.d.pickDecode()
+	if w.d.decodes[dj].KV().Allocate(q.KVID(), q.W.PromptTokens+1) != nil {
+		return // no decode blocks: fall back to the serial path at prefill end
+	}
+	ax := &asyncXfer{decodeIdx: dj}
+	w.async[q.W.ID] = ax
+	w.d.decodeAt[q.W.ID] = dj
+	w.d.asyncXfers++
+	pi := w.d.prefillIdx(q)
+	start := w.r.s.Now()
+	w.d.p2d[pi][dj].Transfer(w.d.kvBytes(q.W.PromptTokens), func() {
+		w.cfg.Tracer.Add(fmt.Sprintf("link p%d-d%d", pi, dj), trace.KindKVTransfer, start, w.r.s.Now(),
+			fmt.Sprintf("req%d async %d tokens", q.W.ID, q.W.PromptTokens))
+		ax.xferDone = true
+		w.maybeFinishAsync(q, ax)
+	})
+}
+
+// finishPrefillTransfer is the pd transfer hook: async requests complete
+// their handoff here; others return false and take the serial path.
+func (w *windState) finishPrefillTransfer(q *engine.Req) bool {
+	ax, ok := w.async[q.W.ID]
+	if !ok {
+		return false
+	}
+	ax.prefillDone = true
+	w.maybeFinishAsync(q, ax)
+	return true
+}
+
+func (w *windState) maybeFinishAsync(q *engine.Req, ax *asyncXfer) {
+	if !ax.xferDone || !ax.prefillDone {
+		return
+	}
+	delete(w.async, q.W.ID)
+	w.d.prefills[w.d.prefillIdx(q)].ReleaseKV(q)
+	w.d.decodes[ax.decodeIdx].AdmitDecode(q)
+}
+
+// onDecodeIterEnd runs the Global Scheduler's memory-pressure logic after
+// every pass of decode instance j: Dynamic Rescheduling on low watermark,
+// proactive backups when the imbalance favors them.
+func (w *windState) onDecodeIterEnd(j int) {
+	dec := w.d.decodes[j]
+	dkv := dec.KV()
+	freeFrac := 1 - dkv.Utilization()
+	if !w.cfg.Wind.DisableResched {
+		pol := w.cfg.Wind.Resched
+		if pol.ShouldTrigger(freeFrac) && len(w.migrations) < pol.MaxConcurrentMigrations {
+			capTokens := dkv.TotalBlocks() * dkv.BlockSize()
+			need := int((pol.TargetFree - freeFrac) * float64(capTokens))
+			victims := pol.PickVictims(dec.Running(), need, pol.MaxConcurrentMigrations-len(w.migrations))
+			for _, v := range victims {
+				w.startMigration(v, j)
+			}
+		}
+	}
+	if !w.cfg.Wind.DisableBackup {
+		w.maybeBackup(j, freeFrac)
+	}
+}
+
+// --- Stall-free rescheduling (paper §3.3) ------------------------------
+
+type migration struct {
+	q *engine.Req
+	// clean counts context tokens already resident at the target.
+	clean int
+	// src decode instance and dst prefill instance.
+	src, dst int
+}
+
+// startMigration begins moving a long-context decode job from decode
+// instance src to a prefill instance without stopping its decoding.
+func (w *windState) startMigration(q *engine.Req, src int) {
+	id := q.KVID()
+	clean := 0
+	dst := w.freestPrefillIdx()
+	if bi, ok := w.backupAt[q.W.ID]; ok && q.BackupTokens > 0 {
+		pkv := w.d.prefills[bi].KV()
+		if pkv.Has(id) && pkv.IsBackup(id) && pkv.PromoteBackup(id) == nil {
+			// A backup already holds the first BackupTokens of context at
+			// instance bi; only the delta must move there.
+			dst = bi
+			clean = q.BackupTokens
+			delete(w.backupAt, q.W.ID)
+		}
+	}
+	if clean == 0 {
+		if w.d.prefills[dst].KV().Allocate(id, q.Ctx()+1) != nil {
+			return // prefill memory too tight; try again on a later trigger
+		}
+	}
+	q.Migrating = true
+	w.rescheduled++
+	m := &migration{q: q, clean: clean, src: src, dst: dst}
+	w.migrations[q.W.ID] = m
+	now := w.r.s.Now()
+	w.cfg.Tracer.Add("scheduler", trace.KindReschedule, now, now,
+		fmt.Sprintf("req%d d%d→p%d ctx=%d backup=%d", q.W.ID, src, dst, q.Ctx(), clean))
+	w.migrationRound(m)
+}
+
+// migrationRound copies the currently-dirty span while decoding continues;
+// each round the dirty span shrinks toward the drain threshold.
+func (w *windState) migrationRound(m *migration) {
+	if w.abortMigrationIfGone(m) {
+		return
+	}
+	dirty := m.q.Ctx() - m.clean
+	if dirty <= w.cfg.Wind.Resched.DrainThresholdTokens {
+		w.drainMigration(m)
+		return
+	}
+	target := m.q.Ctx()
+	start := w.r.s.Now()
+	w.d.d2p[m.src][m.dst].Transfer(w.d.kvBytes(dirty), func() {
+		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
+			fmt.Sprintf("req%d copy %d tokens", m.q.W.ID, dirty))
+		m.clean = target
+		w.migrationRound(m)
+	})
+}
+
+// drainMigration pauses the request's decoding, ships the bounded tail,
+// and resumes decoding on the destination prefill instance.
+func (w *windState) drainMigration(m *migration) {
+	if w.abortMigrationIfGone(m) {
+		return
+	}
+	q := m.q
+	dec := w.d.decodes[m.src]
+	dec.RemoveRunning(q)
+	q.Phase = engine.PhaseDraining
+	dirty := q.Ctx() - m.clean
+	start := w.r.s.Now()
+	w.d.d2p[m.src][m.dst].Transfer(w.d.kvBytes(dirty), func() {
+		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
+			fmt.Sprintf("req%d drain %d tokens", q.W.ID, dirty))
+		delete(w.migrations, q.W.ID)
+		q.Migrating = false
+		if q.Phase == engine.PhaseDone {
+			// Completed in the same pass that drained it.
+			w.releaseForeign(q)
+			return
+		}
+		if dec.KV().Has(q.KVID()) {
+			_ = dec.KV().Release(q.KVID())
+			dec.Kick()
+		}
+		delete(w.d.decodeAt, q.W.ID)
+		// Catch up the destination allocation with tokens generated during
+		// the copy; the engine's own growth path recovers any shortfall.
+		_ = w.d.prefills[m.dst].KV().Grow(q.KVID(), q.Ctx()+1)
+		q.BackupTokens = 0
+		w.d.prefillAt[q.W.ID] = m.dst
+		w.d.prefills[m.dst].InsertRunning(q)
+	})
+}
+
+// abortMigrationIfGone cancels a migration whose request completed or got
+// preempted mid-copy, releasing the destination allocation.
+func (w *windState) abortMigrationIfGone(m *migration) bool {
+	q := m.q
+	if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseSwapped || q.Phase == engine.PhaseWaiting {
+		delete(w.migrations, q.W.ID)
+		q.Migrating = false
+		pkv := w.d.prefills[m.dst].KV()
+		if pkv.Has(q.KVID()) {
+			_ = pkv.Release(q.KVID())
+			w.d.prefills[m.dst].Kick()
+		}
+		return true
+	}
+	return false
+}
+
+// --- Proactive KV backups (paper §3.3) ---------------------------------
+
+// maybeBackup copies a long request's KV from decode instance j to a
+// prefill instance's spare blocks when the decode side is filling and the
+// prefill side is not: a later migration then only moves the delta.
+func (w *windState) maybeBackup(j int, decodeFreeFrac float64) {
+	pi := w.freestPrefillIdx()
+	if w.d.d2p[j][pi].Busy() {
+		return // keep backups off the critical path of migrations
+	}
+	pkv := w.d.prefills[pi].KV()
+	pol := w.cfg.Wind.Backup
+	prefillFree := 1 - pkv.Utilization()
+	if !pol.ShouldBackup(decodeFreeFrac, prefillFree) {
+		return
+	}
+	var cand *engine.Req
+	for _, q := range w.d.decodes[j].Running() {
+		if w.backupInFlight[q.W.ID] {
+			continue
+		}
+		if q.Migrating || q.BackupTokens > 0 || q.Ctx() < pol.MinContextTokens {
+			continue
+		}
+		if cand == nil || q.Ctx() > cand.Ctx() {
+			cand = q
+		}
+	}
+	if cand == nil {
+		return
+	}
+	snap := cand.Ctx()
+	if pkv.AllocateBackup(cand.KVID(), snap) != nil {
+		return
+	}
+	w.backupInFlight[cand.W.ID] = true
+	start := w.r.s.Now()
+	w.d.d2p[j][pi].Transfer(w.d.kvBytes(snap), func() {
+		delete(w.backupInFlight, cand.W.ID)
+		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", j, pi), trace.KindKVTransfer, start, w.r.s.Now(),
+			fmt.Sprintf("req%d backup %d tokens", cand.W.ID, snap))
+		if cand.Phase == engine.PhaseDone || !pkv.Has(cand.KVID()) || !pkv.IsBackup(cand.KVID()) {
+			return // finished or promoted while copying
+		}
+		cand.BackupTokens = snap
+		w.backupAt[cand.W.ID] = pi
+		w.backups++
+	})
+}
+
+// onComplete cleans up cross-instance state for a finished request.
+func (w *windState) onComplete(q *engine.Req) {
+	w.releaseForeign(q)
+}
+
+// releaseForeign drops any allocation the request holds on instances it
+// did NOT complete on (backups, stale migration targets, async copies).
+func (w *windState) releaseForeign(q *engine.Req) {
+	id := q.KVID()
+	for _, ins := range w.d.prefills {
+		if ins.KV().Has(id) {
+			_ = ins.KV().Release(id)
+			ins.Kick()
+		}
+	}
+	for _, ins := range w.d.decodes {
+		if ins.KV().Has(id) {
+			_ = ins.KV().Release(id)
+			ins.Kick()
+		}
+	}
+	delete(w.async, q.W.ID)
+	delete(w.backupAt, q.W.ID)
+}
+
+// Ablation helpers so benchmarks read naturally.
+
+// RunWindServeNoSplit runs the WindServe-no-split ablation (Fig. 13a).
+func RunWindServeNoSplit(cfg Config, reqs []workload.Request) (*Result, error) {
+	cfg.Wind.DisableSBD = true
+	return RunWindServe(cfg, reqs)
+}
+
+// RunWindServeNoResched runs the WindServe-no-resche ablation (Fig. 13b).
+func RunWindServeNoResched(cfg Config, reqs []workload.Request) (*Result, error) {
+	cfg.Wind.DisableResched = true
+	return RunWindServe(cfg, reqs)
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"testing"
+
+	"windserve/internal/engine"
+	"windserve/internal/workload"
+)
+
+// newWindStateForTest builds a windState over a real pd without running a
+// workload, for unit-testing the migration state machine's edges.
+func newWindStateForTest(t *testing.T) *windState {
+	t.Helper()
+	r := newRunner(cfg13B(t))
+	d, err := newPD(r, r.cfg, pdHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &windState{
+		r: r, cfg: r.cfg, d: d,
+		async:          make(map[uint64]*asyncXfer),
+		migrations:     make(map[uint64]*migration),
+		backupInFlight: make(map[uint64]bool),
+		backupAt:       make(map[uint64]int),
+	}
+}
+
+func TestAbortMigrationReleasesDestination(t *testing.T) {
+	for _, phase := range []engine.Phase{engine.PhaseDone, engine.PhaseSwapped, engine.PhaseWaiting} {
+		w := newWindStateForTest(t)
+		q := engine.NewReq(workload.Request{ID: 7, PromptTokens: 500, OutputTokens: 50})
+		q.PrefillDone, q.Generated = 500, 10
+		q.Migrating = true
+		q.Phase = phase
+		pkv := w.d.prefills[0].KV()
+		if err := pkv.Allocate(q.KVID(), q.Ctx()+1); err != nil {
+			t.Fatal(err)
+		}
+		m := &migration{q: q, src: 0, dst: 0}
+		w.migrations[q.W.ID] = m
+		if !w.abortMigrationIfGone(m) {
+			t.Fatalf("phase %v: abort not taken", phase)
+		}
+		if q.Migrating {
+			t.Errorf("phase %v: Migrating flag not cleared", phase)
+		}
+		if len(w.migrations) != 0 {
+			t.Errorf("phase %v: migration entry not removed", phase)
+		}
+		if pkv.Has(q.KVID()) {
+			t.Errorf("phase %v: destination allocation leaked", phase)
+		}
+	}
+}
+
+func TestAbortMigrationNotTakenWhileDecoding(t *testing.T) {
+	w := newWindStateForTest(t)
+	q := engine.NewReq(workload.Request{ID: 8, PromptTokens: 500, OutputTokens: 50})
+	q.PrefillDone, q.Generated = 500, 10
+	q.Phase = engine.PhaseDecoding
+	m := &migration{q: q, src: 0, dst: 0}
+	w.migrations[q.W.ID] = m
+	if w.abortMigrationIfGone(m) {
+		t.Fatal("abort taken for a live decoding request")
+	}
+	if len(w.migrations) != 1 {
+		t.Fatal("live migration dropped")
+	}
+}
+
+func TestStartMigrationFailsGracefullyWithoutPrefillKV(t *testing.T) {
+	w := newWindStateForTest(t)
+	// Fill the prefill instance's KV so the destination allocation fails.
+	pkv := w.d.prefills[0].KV()
+	if err := pkv.Allocate(999, pkv.FreeTokens()); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.NewReq(workload.Request{ID: 9, PromptTokens: 1000, OutputTokens: 50})
+	q.PrefillDone, q.Generated = 1000, 5
+	q.Phase = engine.PhaseDecoding
+	w.startMigration(q, 0)
+	if q.Migrating || len(w.migrations) != 0 || w.rescheduled != 0 {
+		t.Error("migration should not start without destination blocks")
+	}
+}
+
+func TestStartMigrationUsesBackupDelta(t *testing.T) {
+	w := newWindStateForTest(t)
+	q := engine.NewReq(workload.Request{ID: 10, PromptTokens: 1000, OutputTokens: 200})
+	q.PrefillDone, q.Generated = 1000, 100
+	q.Phase = engine.PhaseDecoding
+	// The engine will decode it to completion and report to the recorder.
+	w.r.rec.Arrive(q.W.ID, q.W.PromptTokens, q.W.OutputTokens, 0)
+	w.r.rec.PrefillStart(q.W.ID, 0)
+	w.r.rec.FirstToken(q.W.ID, 0)
+	q.BackupTokens = 1050
+	w.backupAt[q.W.ID] = 0
+	pkv := w.d.prefills[0].KV()
+	if err := pkv.AllocateBackup(q.KVID(), 1050); err != nil {
+		t.Fatal(err)
+	}
+	// Decode-side allocation so the drain path can release it.
+	if err := w.d.decodes[0].KV().Allocate(q.KVID(), q.Ctx()+1); err != nil {
+		t.Fatal(err)
+	}
+	w.d.decodes[0].InsertRunning(q)
+	w.startMigration(q, 0)
+	if !q.Migrating {
+		t.Fatal("migration did not start")
+	}
+	m := w.migrations[q.W.ID]
+	if m == nil || m.clean != 1050 {
+		t.Fatalf("migration clean = %+v, want backup-seeded 1050", m)
+	}
+	if pkv.IsBackup(q.KVID()) {
+		t.Error("backup not promoted")
+	}
+	// Let the copy rounds, the drain, and the remaining decoding (now on
+	// the prefill instance) run to completion.
+	w.r.s.RunAll()
+	if q.Migrating {
+		t.Error("migration never drained")
+	}
+	if !q.Finished() {
+		t.Errorf("request did not finish post-migration: %v", q)
+	}
+	if w.d.decodes[0].KV().Has(q.KVID()) || pkv.Has(q.KVID()) {
+		t.Error("KV leaked after post-migration completion")
+	}
+	// Completion cleanup removes routing entries.
+	if len(w.d.decodeAt) != 0 {
+		t.Error("decode routing table not cleaned")
+	}
+}

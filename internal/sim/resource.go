@@ -1,0 +1,81 @@
+package sim
+
+// FIFOResource models a serially-shared resource (e.g. an interconnect link
+// in one direction): jobs queue and are served one at a time in submission
+// order, each occupying the resource for its service duration.
+//
+// This is the classic M/G/1-style server used for KV-cache transfers: a
+// transfer of size S over a link of bandwidth B occupies the link for S/B,
+// and later transfers wait behind it.
+type FIFOResource struct {
+	sim  *Simulator
+	name string
+
+	busy  bool
+	queue []fifoJob
+
+	// BusyTime accumulates total occupied time, for utilization metrics.
+	BusyTime Duration
+	// Served counts completed jobs.
+	Served uint64
+}
+
+type fifoJob struct {
+	d    Duration
+	done func()
+}
+
+// NewFIFOResource creates an idle resource bound to s.
+func NewFIFOResource(s *Simulator, name string) *FIFOResource {
+	return &FIFOResource{sim: s, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *FIFOResource) Name() string { return r.name }
+
+// Busy reports whether a job is currently in service.
+func (r *FIFOResource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of jobs waiting (not counting the one in
+// service).
+func (r *FIFOResource) QueueLen() int { return len(r.queue) }
+
+// Submit enqueues a job needing the resource for d; done runs when the job
+// completes service. Zero-duration jobs still respect FIFO order.
+func (r *FIFOResource) Submit(d Duration, done func()) {
+	if d < 0 {
+		panic("sim: negative service duration")
+	}
+	r.queue = append(r.queue, fifoJob{d: d, done: done})
+	if !r.busy {
+		r.startNext()
+	}
+}
+
+func (r *FIFOResource) startNext() {
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	job := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	r.BusyTime += job.d
+	r.sim.Schedule(job.d, func() {
+		r.Served++
+		if job.done != nil {
+			job.done()
+		}
+		r.startNext()
+	})
+}
+
+// Backlog returns the total service time of queued jobs (excluding the
+// remaining time of the job in service, which the caller cannot observe).
+func (r *FIFOResource) Backlog() Duration {
+	var total Duration
+	for _, j := range r.queue {
+		total += j.d
+	}
+	return total
+}

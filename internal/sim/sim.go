@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All WindServe experiments run on virtual time: instances schedule
+// "iteration complete" events, transfer engines schedule "copy done" events,
+// and workload generators schedule request arrivals. The kernel guarantees a
+// total order over events (time, then insertion sequence), so a run with a
+// fixed seed is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Forever is a time later than any event a simulation will ever schedule.
+const Forever Time = math.MaxFloat64 / 4
+
+// Seconds constructs a Duration from a float64 number of seconds.
+func Seconds(s float64) Duration { return Duration(s) }
+
+// Milliseconds constructs a Duration from milliseconds.
+func Milliseconds(ms float64) Duration { return Duration(ms / 1e3) }
+
+// Microseconds constructs a Duration from microseconds.
+func Microseconds(us float64) Duration { return Duration(us / 1e6) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Milliseconds returns the duration in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) * 1e3 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", float64(t)) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fms", float64(d)*1e3) }
+
+// event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among same-time events
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Valid reports whether the id refers to a (possibly already fired) event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+// Simulator is a single-threaded discrete-event scheduler.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now    Time
+	pq     eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns an empty simulator at time 0.
+func New() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.pq)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (s *Simulator) Pending() int { return len(s.pq) }
+
+// Schedule runs fn after delay d (>= 0). Scheduling in the past panics,
+// since it indicates a cost-model bug rather than a recoverable condition.
+func (s *Simulator) Schedule(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (s *Simulator) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (s *Simulator) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.pq, id.ev.index)
+	id.ev.fn = nil
+	return true
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Step fires the single earliest pending event, if any, advancing the clock.
+// It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*event)
+	if ev.at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events in order until no events remain, the horizon is passed,
+// or Halt is called. The clock is left at the last fired event (or at the
+// horizon, whichever is smaller, if events remain beyond it).
+func (s *Simulator) Run(until Time) {
+	s.halted = false
+	for !s.halted {
+		if len(s.pq) == 0 {
+			return
+		}
+		if s.pq[0].at > until {
+			s.now = until
+			return
+		}
+		s.Step()
+	}
+}
+
+// RunAll fires all events until the queue drains or Halt is called.
+func (s *Simulator) RunAll() { s.Run(Forever) }

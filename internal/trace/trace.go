@@ -1,0 +1,168 @@
+// Package trace captures a structured timeline of simulation activity —
+// which batch ran on which instance's stream, when KV transfers and
+// migrations happened — and renders it as an ASCII Gantt chart. This is
+// how we regenerate the paper's Fig. 7 (chunked-prefill vs stream-based
+// disaggregation execution timelines).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"windserve/internal/sim"
+)
+
+// Kind classifies an activity span.
+type Kind string
+
+// Activity kinds recorded by the engines and transfer machinery.
+const (
+	KindPrefill    Kind = "prefill"     // whole-prompt prefill pass
+	KindChunk      Kind = "chunk"       // one chunked-prefill pass
+	KindDecode     Kind = "decode"      // one decode iteration
+	KindHybrid     Kind = "hybrid"      // mixed prefill+decode pass
+	KindSBDPrefill Kind = "sbd-prefill" // prefill in its own CUDA stream
+	KindSBDDecode  Kind = "sbd-decode"  // decode alongside an SBD prefill
+	KindKVTransfer Kind = "kv-transfer" // cross-instance KV copy
+	KindSwapOut    Kind = "swap-out"    // GPU→CPU KV eviction
+	KindSwapIn     Kind = "swap-in"     // CPU→GPU KV restore
+	KindMigration  Kind = "migration"   // stall-free rescheduling copy
+	KindDispatch   Kind = "dispatch"    // dynamic prefill dispatch decision
+	KindReschedule Kind = "reschedule"  // dynamic rescheduling decision
+)
+
+// Span is one timed activity on a named lane.
+type Span struct {
+	Lane   string // e.g. "prefill-0", "decode-0/stream1", "link pcie"
+	Kind   Kind
+	Start  sim.Time
+	End    sim.Time
+	Detail string // free-form, e.g. request ids
+}
+
+// Tracer collects spans. A nil *Tracer is valid and records nothing, so
+// engines can trace unconditionally.
+type Tracer struct {
+	Spans []Span
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Add records a span. No-op on a nil tracer.
+func (t *Tracer) Add(lane string, kind Kind, start, end sim.Time, detail string) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("trace: span %s/%s ends before it starts", lane, kind))
+	}
+	t.Spans = append(t.Spans, Span{Lane: lane, Kind: kind, Start: start, End: end, Detail: detail})
+}
+
+// Lanes returns the distinct lane names in first-appearance order.
+func (t *Tracer) Lanes() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var lanes []string
+	for _, s := range t.Spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	return lanes
+}
+
+// Filter returns the spans on one lane, in start order.
+func (t *Tracer) Filter(lane string) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Lane == lane {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// glyph maps activity kinds to Gantt fill characters.
+func glyph(k Kind) byte {
+	switch k {
+	case KindPrefill, KindSBDPrefill:
+		return 'P'
+	case KindChunk:
+		return 'c'
+	case KindDecode, KindSBDDecode:
+		return 'd'
+	case KindHybrid:
+		return 'H'
+	case KindKVTransfer:
+		return '>'
+	case KindMigration:
+		return 'm'
+	case KindSwapOut, KindSwapIn:
+		return 's'
+	default:
+		return '#'
+	}
+}
+
+// Gantt renders all lanes over [from, to] as width-character bars.
+// Later spans overwrite earlier ones where they overlap.
+func (t *Tracer) Gantt(from, to sim.Time, width int) string {
+	if t == nil || width <= 0 || to <= from {
+		return ""
+	}
+	span := to.Sub(from).Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%c = prefill, %c = decode, %c = chunk, %c = hybrid, %c = transfer, %c = migration)\n",
+		from, to, 'P', 'd', 'c', 'H', '>', 'm')
+	for _, lane := range t.Lanes() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.Filter(lane) {
+			if s.End < from || s.Start > to {
+				continue
+			}
+			lo := int(float64(width) * s.Start.Sub(from).Seconds() / span)
+			hi := int(float64(width) * s.End.Sub(from).Seconds() / span)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = glyph(s.Kind)
+			}
+		}
+		fmt.Fprintf(&b, "%-22s |%s|\n", lane, row)
+	}
+	return b.String()
+}
+
+// Bounds returns the earliest start and latest end over all spans.
+func (t *Tracer) Bounds() (from, to sim.Time) {
+	if t == nil || len(t.Spans) == 0 {
+		return 0, 0
+	}
+	from, to = t.Spans[0].Start, t.Spans[0].End
+	for _, s := range t.Spans {
+		if s.Start < from {
+			from = s.Start
+		}
+		if s.End > to {
+			to = s.End
+		}
+	}
+	return from, to
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add("lane", KindDecode, 0, 1, "") // must not panic
+	if tr.Lanes() != nil || tr.Filter("lane") != nil {
+		t.Error("nil tracer should return nothing")
+	}
+	if tr.Gantt(0, 1, 10) != "" {
+		t.Error("nil tracer Gantt should be empty")
+	}
+	if from, to := tr.Bounds(); from != 0 || to != 0 {
+		t.Error("nil tracer bounds")
+	}
+}
+
+func TestAddAndFilter(t *testing.T) {
+	tr := New()
+	tr.Add("decode-0", KindDecode, 1, 2, "r1")
+	tr.Add("prefill-0", KindPrefill, 0, 3, "r2")
+	tr.Add("decode-0", KindDecode, 0, 1, "r3")
+	lanes := tr.Lanes()
+	if len(lanes) != 2 || lanes[0] != "decode-0" || lanes[1] != "prefill-0" {
+		t.Fatalf("Lanes = %v", lanes)
+	}
+	spans := tr.Filter("decode-0")
+	if len(spans) != 2 || spans[0].Detail != "r3" {
+		t.Fatalf("Filter not sorted by start: %+v", spans)
+	}
+}
+
+func TestAddBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Add("l", KindDecode, 2, 1, "")
+}
+
+func TestBounds(t *testing.T) {
+	tr := New()
+	tr.Add("a", KindDecode, 5, 7, "")
+	tr.Add("b", KindPrefill, 2, 6, "")
+	from, to := tr.Bounds()
+	if from != 2 || to != 7 {
+		t.Errorf("Bounds = %v..%v", from, to)
+	}
+	if f, tt := New().Bounds(); f != 0 || tt != 0 {
+		t.Error("empty bounds")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := New()
+	tr.Add("decode-0", KindDecode, 0, 5, "")
+	tr.Add("decode-0/s2", KindSBDPrefill, 5, 10, "")
+	tr.Add("link", KindKVTransfer, 2, 4, "")
+	out := tr.Gantt(0, 10, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 lanes
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "d") {
+		t.Errorf("decode lane missing 'd': %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "P") {
+		t.Errorf("sbd-prefill lane missing 'P': %s", lines[2])
+	}
+	if !strings.Contains(lines[3], ">") {
+		t.Errorf("link lane missing '>': %s", lines[3])
+	}
+	// The decode bar occupies the first half, not the second.
+	row := lines[1][strings.Index(lines[1], "|")+1:]
+	if row[0] != 'd' || row[35] == 'd' {
+		t.Errorf("decode bar misplaced: %q", row)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	tr := New()
+	tr.Add("a", KindDecode, 0, 1, "")
+	if tr.Gantt(0, 1, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+	if tr.Gantt(5, 5, 10) != "" {
+		t.Error("empty window should render empty")
+	}
+	// Span outside the window: lane renders but stays blank.
+	out := tr.Gantt(10, 20, 10)
+	if !strings.Contains(out, "..........") {
+		t.Errorf("out-of-window span should leave blanks:\n%s", out)
+	}
+	// Span partially clipped by the window must not panic or overflow.
+	tr.Add("a", KindPrefill, 19, 25, "")
+	out = tr.Gantt(10, 20, 10)
+	if !strings.Contains(out, "P") {
+		t.Errorf("clipped span should still render:\n%s", out)
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	for k, want := range map[Kind]byte{
+		KindPrefill: 'P', KindSBDPrefill: 'P', KindChunk: 'c',
+		KindDecode: 'd', KindSBDDecode: 'd', KindHybrid: 'H',
+		KindKVTransfer: '>', KindMigration: 'm', KindSwapOut: 's', KindSwapIn: 's',
+		KindDispatch: '#', KindReschedule: '#',
+	} {
+		if got := glyph(k); got != want {
+			t.Errorf("glyph(%s) = %c, want %c", k, got, want)
+		}
+	}
+}

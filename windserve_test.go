@@ -1,0 +1,96 @@
+package windserve_test
+
+import (
+	"strings"
+	"testing"
+
+	"windserve"
+)
+
+func TestNewConfigAllModels(t *testing.T) {
+	for _, name := range windserve.Models() {
+		cfg, err := windserve.NewConfig(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Model.Name != name {
+			t.Errorf("config model = %s", cfg.Model.Name)
+		}
+		if cfg.SLO.TTFT <= 0 || cfg.SLO.TPOT <= 0 {
+			t.Errorf("%s: SLO not set", name)
+		}
+	}
+	if _, err := windserve.NewConfig("GPT-4"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunAllSystems(t *testing.T) {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := windserve.GenerateTrace(windserve.ShareGPT(), 3, cfg, 120, 7)
+	for _, sys := range windserve.Systems() {
+		res, err := windserve.Run(sys, cfg, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Unfinished != 0 {
+			t.Errorf("%s: %d unfinished", sys, res.Unfinished)
+		}
+		if res.Summary.Requests != 120 {
+			t.Errorf("%s: %d requests summarized", sys, res.Summary.Requests)
+		}
+	}
+	if _, err := windserve.Run("nonsense", cfg, reqs); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestCompareDefaults(t *testing.T) {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := windserve.GenerateTrace(windserve.ShareGPT(), 2, cfg, 80, 3)
+	results, err := windserve.Compare(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	names := []string{"vLLM", "DistServe", "WindServe"}
+	for i, res := range results {
+		if !strings.Contains(res.System, names[i]) {
+			t.Errorf("result %d = %s, want %s", i, res.System, names[i])
+		}
+	}
+}
+
+func TestGenerateTraceRespectsModelContext(t *testing.T) {
+	cfg, err := windserve.NewConfig("OPT-13B") // 2048-token context
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := windserve.GenerateTrace(windserve.LongBench(), 1, cfg, 500, 5)
+	for _, r := range reqs {
+		if r.TotalTokens() > 2048 {
+			t.Fatalf("request %d exceeds model context: %d", r.ID, r.TotalTokens())
+		}
+	}
+}
+
+func TestFixedWorkload(t *testing.T) {
+	cfg, err := windserve.NewConfig("OPT-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := windserve.GenerateTrace(windserve.FixedWorkload(256, 16, 2048), 1, cfg, 10, 1)
+	for _, r := range reqs {
+		if r.PromptTokens != 256 || r.OutputTokens != 16 {
+			t.Fatalf("fixed workload request = %+v", r)
+		}
+	}
+}
