@@ -18,12 +18,14 @@ import (
 	"strings"
 
 	"windserve/internal/bench"
+	"windserve/internal/fault"
 )
 
 func main() {
 	n := flag.Int("n", 600, "requests per simulation run")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
+	faults := flag.String("faults", "", `fault plan for ext-faults, e.g. "crash:d0@60; degrade@90x0.5+30"`)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -31,6 +33,16 @@ func main() {
 		os.Exit(2)
 	}
 	o := bench.Options{Requests: *n, Seed: *seed}
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.Parse(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		plan.Seed = *seed
+	}
 
 	writeCSV := func(rows []bench.Row) error {
 		if *csvPath == "" {
@@ -82,6 +94,7 @@ func main() {
 		"ext-scale":     func(w io.Writer) error { _, err := bench.ExpScale(o, w); return err },
 		"ext-mixed":     func(w io.Writer) error { _, err := bench.ExpMixed(o, w); return err },
 		"ext-shift":     func(w io.Writer) error { _, err := bench.ExpShift(o, w); return err },
+		"ext-faults":    func(w io.Writer) error { _, err := bench.ExpResilience(o, w, plan); return err },
 	}
 
 	args := flag.Args()
@@ -140,6 +153,8 @@ extensions (not paper exhibits):
   ext-scale      linear scaling across instance counts (multi-instance routing)
   ext-mixed      blended chatbot + summarization workload on one cluster
   ext-shift      load step mid-trace (dynamic adaptation vs static planning)
+  ext-faults     fault injection: crash/degrade/cancel recovery and load shedding
+                 (customize the plan with -faults "crash:d0@60; cancel@90x0.2")
 
 flags:
 `)

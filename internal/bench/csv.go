@@ -16,7 +16,8 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		"ttft_p50_ms", "ttft_p90_ms", "ttft_p99_ms",
 		"tpot_p50_ms", "tpot_p90_ms", "tpot_p99_ms",
 		"slo_attainment", "ttft_attainment", "tpot_attainment",
-		"throughput_rps", "decode_queue_p99_ms",
+		"throughput_rps", "goodput_rps", "decode_queue_p99_ms",
+		"aborted", "rejected", "recovered",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -24,12 +25,17 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 	f := func(v float64) string { return fmt.Sprintf("%.4f", v) }
 	for _, r := range rows {
 		s := r.Summary
+		var aborted, rejected, recovered int
+		if r.Result != nil {
+			aborted, rejected, recovered = r.Result.Aborted, r.Result.Rejected, r.Result.Recovered
+		}
 		rec := []string{
 			r.Model, r.Dataset, f(r.Rate), r.System,
 			f(s.TTFTP50.Milliseconds()), f(s.TTFTP90.Milliseconds()), f(s.TTFTP99.Milliseconds()),
 			f(s.TPOTP50.Milliseconds()), f(s.TPOTP90.Milliseconds()), f(s.TPOTP99.Milliseconds()),
 			f(s.Attainment), f(s.TTFTAttainment), f(s.TPOTAttainment),
-			f(s.ThroughputRPS), f(s.DecodeQueueP99.Milliseconds()),
+			f(s.ThroughputRPS), f(s.GoodputRPS), f(s.DecodeQueueP99.Milliseconds()),
+			fmt.Sprint(aborted), fmt.Sprint(rejected), fmt.Sprint(recovered),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"windserve/internal/metrics"
+	"windserve/internal/serve"
 	"windserve/internal/sim"
 )
 
@@ -20,7 +21,8 @@ func TestWriteRowsCSV(t *testing.T) {
 		},
 		{
 			Model: "OPT-13B", Dataset: "ShareGPT", System: "DistServe", Rate: 4,
-			Summary: metrics.Summary{TTFTP50: sim.Milliseconds(2000), Attainment: 0.07},
+			Summary: metrics.Summary{TTFTP50: sim.Milliseconds(2000), Attainment: 0.07, GoodputRPS: 1.25},
+			Result:  &serve.Result{Aborted: 3, Rejected: 7, Recovered: 2},
 		},
 	}
 	var sb strings.Builder
@@ -43,4 +45,25 @@ func TestWriteRowsCSV(t *testing.T) {
 	if recs[2][10] != "0.0700" {
 		t.Errorf("row 2 attainment = %v", recs[2][10])
 	}
+	gp := indexOf(recs[0], "goodput_rps")
+	if gp < 0 || recs[2][gp] != "1.2500" {
+		t.Errorf("row 2 goodput = %v", recs[2])
+	}
+	// Fault-lifecycle counters ride along; rows without a Result emit zeros.
+	ab := indexOf(recs[0], "aborted")
+	if ab < 0 || recs[2][ab] != "3" || recs[2][ab+1] != "7" || recs[2][ab+2] != "2" {
+		t.Errorf("row 2 lifecycle counters = %v", recs[2])
+	}
+	if recs[1][ab] != "0" || recs[1][ab+1] != "0" || recs[1][ab+2] != "0" {
+		t.Errorf("row 1 lifecycle counters = %v", recs[1])
+	}
+}
+
+func indexOf(header []string, name string) int {
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
 }

@@ -103,6 +103,14 @@ type Instance struct {
 	busyUntil   sim.Time
 	stallUntil  sim.Time // swap transfers stall the next iteration
 	kickPending bool
+	// down marks a crashed instance: the iteration loop refuses to run
+	// and epoch invalidates completions of passes that were in flight at
+	// crash time (their closures compare epochs and bail).
+	down  bool
+	epoch uint64
+	// slow multiplies pass durations (transient GPU slowdown fault);
+	// 0 and 1 both mean nominal speed.
+	slow float64
 	// inFlight counts passes past their initiation interval but not yet
 	// applied. Pipeline parallelism lets pure-prefill passes overlap: a
 	// new prefill batch may enter stage 0 once the previous pass clears
@@ -212,6 +220,95 @@ func (ins *Instance) ReleaseKV(r *Req) {
 	ins.Kick()
 }
 
+// --- Fault injection ---------------------------------------------------
+
+// Crash takes the instance down, losing its KV cache and all in-flight
+// work: passes in either stream are invalidated (their completion events
+// compare epochs and bail), queues are emptied, and every resident
+// request is returned for the system layer to recover elsewhere. The
+// returned orphans preserve queue order (prefill queue, assist queue,
+// active assists, admit queue, running batch, swapped) so recovery is
+// deterministic.
+func (ins *Instance) Crash() []*Req {
+	ins.down = true
+	ins.epoch++
+	ins.busy = false
+	ins.inFlight = 0
+	ins.stallUntil = 0
+	var orphans []*Req
+	collect := func(rs []*Req) {
+		for _, r := range rs {
+			r.inPass = false
+			orphans = append(orphans, r)
+		}
+	}
+	collect(ins.prefillQ)
+	collect(ins.assistQ)
+	collect(ins.assistActive)
+	collect(ins.admitQ)
+	collect(ins.running)
+	collect(ins.swapped)
+	ins.prefillQ, ins.assistQ, ins.assistActive = nil, nil, nil
+	ins.admitQ, ins.running, ins.swapped = nil, nil, nil
+	ins.assistBatch = perf.Batch{}
+	ins.cfg.KV.Reset()
+	return orphans
+}
+
+// Restore brings a crashed instance back, empty, and restarts its loop.
+func (ins *Instance) Restore() {
+	if !ins.down {
+		return
+	}
+	ins.down = false
+	ins.Kick()
+}
+
+// Down reports whether the instance is crashed.
+func (ins *Instance) Down() bool { return ins.down }
+
+// SetSlowdown multiplies future pass durations by factor (>= 1; smaller
+// values restore nominal speed). Passes already in flight keep their
+// original durations.
+func (ins *Instance) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	ins.slow = factor
+}
+
+// Slowdown returns the current pass-duration multiplier (1 when nominal).
+func (ins *Instance) Slowdown() float64 {
+	if ins.slow > 1 {
+		return ins.slow
+	}
+	return 1
+}
+
+// Abort removes a cancelled request from every queue and releases its KV
+// here. The caller must have set PhaseAborted first so in-flight pass
+// effects (which cannot be recalled) skip the request when they apply.
+// Requests unknown to this instance are a safe no-op.
+func (ins *Instance) Abort(r *Req) {
+	ins.prefillQ = removeReq(ins.prefillQ, r)
+	ins.assistQ = removeReq(ins.assistQ, r)
+	ins.admitQ = removeReq(ins.admitQ, r)
+	ins.swapped = removeReq(ins.swapped, r)
+	ins.RemoveRunning(r)
+	// Requests in assistActive stay in the slice (the pass is running);
+	// the completion loop skips aborted entries.
+	ins.ReleaseKV(r)
+}
+
+func removeReq(rs []*Req, r *Req) []*Req {
+	for i, x := range rs {
+		if x == r {
+			return append(rs[:i], rs[i+1:]...)
+		}
+	}
+	return rs
+}
+
 // --- Observability (the Global Scheduler's view) ----------------------
 
 // QueuedPrefillTokens sums the unprefilled prompt tokens waiting in the
@@ -300,7 +397,7 @@ func (ins *Instance) Kick() {
 }
 
 func (ins *Instance) step() {
-	if ins.busy {
+	if ins.down || ins.busy {
 		return
 	}
 	if now := ins.sim.Now(); ins.stallUntil > now {
@@ -339,11 +436,18 @@ func (ins *Instance) step() {
 			ins.hooks.OnDecodeStart(r)
 		}
 	}
+	epoch := ins.epoch
 	ins.sim.Schedule(initiation, func() {
+		if ins.epoch != epoch {
+			return // crashed mid-pass; Crash already reset busy
+		}
 		ins.busy = false
 		ins.Kick()
 	})
 	ins.sim.Schedule(dur, func() {
+		if ins.epoch != epoch {
+			return // crashed mid-pass; the pass's effects are lost
+		}
 		ins.inFlight--
 		ins.apply(plan)
 		if ins.hooks.OnIterationEnd != nil {
@@ -370,9 +474,17 @@ type prefillSeg struct {
 // passes while an assist prefill stream is active.
 func (ins *Instance) passDuration(b perf.Batch) sim.Duration {
 	if len(ins.assistActive) > 0 {
-		return ins.cfg.CM.SBDDecodeTime(b, ins.assistBatch)
+		return ins.slowed(ins.cfg.CM.SBDDecodeTime(b, ins.assistBatch))
 	}
-	return ins.cfg.CM.IterTime(b)
+	return ins.slowed(ins.cfg.CM.IterTime(b))
+}
+
+// slowed applies the transient-slowdown fault multiplier to a pass time.
+func (ins *Instance) slowed(d sim.Duration) sim.Duration {
+	if ins.slow > 1 {
+		return sim.Duration(float64(d) * ins.slow)
+	}
+	return d
 }
 
 // admit moves pending requests into the running batch.
@@ -430,16 +542,23 @@ func (ins *Instance) maybeStartAssist() {
 	}
 	ins.assistBatch = batch
 	start := ins.sim.Now()
-	dur := ins.cfg.CM.SBDPrefillTime(batch, ins.RunningShape())
+	dur := ins.slowed(ins.cfg.CM.SBDPrefillTime(batch, ins.RunningShape()))
 	cost := ins.cfg.CM.BatchCost(batch)
 	ins.ComputeGauge.AddInterval(start, start.Add(dur),
 		cost.FLOPs()/(dur.Seconds()*ins.cfg.CM.GPU.FLOPS()*float64(ins.cfg.CM.Place.GPUs())))
 	ins.cfg.Tracer.Add(ins.cfg.Name+"/stream2", trace.KindSBDPrefill, start, start.Add(dur),
 		fmt.Sprintf("%d reqs n=%d", len(ins.assistActive), batch.PrefillTokens()))
 	done := ins.assistActive
+	epoch := ins.epoch
 	ins.sim.Schedule(dur, func() {
+		if ins.epoch != epoch {
+			return // crashed mid-pass; the assist batch was orphaned
+		}
 		ins.assistActive = nil
 		for _, r := range done {
+			if r.Phase == PhaseAborted {
+				continue // cancelled mid-pass; KV already released
+			}
 			r.PrefillDone = r.W.PromptTokens
 			ins.finishPrefill(r)
 		}
@@ -545,6 +664,9 @@ func (ins *Instance) apply(plan passPlan) {
 	// Prefill progress.
 	for _, seg := range plan.prefillSegs {
 		seg.r.inPass = false
+		if seg.r.Phase == PhaseAborted {
+			continue // cancelled mid-pass; already dequeued and released
+		}
 		seg.r.PrefillDone += seg.tokens
 		if seg.r.PrefillComplete() {
 			ins.dequeuePrefill(seg.r)

@@ -30,6 +30,10 @@ const (
 	PhaseDraining
 	// PhaseDone: EOS produced.
 	PhaseDone
+	// PhaseAborted: terminated before EOS — a TTFT-deadline abort or a
+	// client cancellation. Terminal; the engine drops the request from
+	// every queue and releases its KV.
+	PhaseAborted
 )
 
 func (p Phase) String() string {
@@ -50,6 +54,8 @@ func (p Phase) String() string {
 		return "draining"
 	case PhaseDone:
 		return "done"
+	case PhaseAborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

@@ -1,0 +1,341 @@
+// Package fault injects failures into a serving simulation. A Plan is a
+// declarative, seeded list of disturbance events — instance crashes,
+// transient GPU slowdowns, interconnect degradation, client cancellations
+// — that Apply compiles into simulator events against a set of
+// system-provided Hooks. Because the simulator orders events totally and
+// the only randomness (picking which requests a cancellation hits) is
+// seeded from the plan, a run under a fault plan is exactly as
+// reproducible as a run without one.
+//
+// Plans can be built programmatically or parsed from a compact spec
+// string (see Parse):
+//
+//	crash:d0@15+10; slow:p0@10x1.5+20; degrade@20x0.25+30; cancel@12x0.2
+//
+// The recovery semantics — what a crash loses, what KV backups restore,
+// how degradation feeds the Global Scheduler — live in internal/serve;
+// this package only decides when each disturbance fires.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"windserve/internal/sim"
+)
+
+// Kind classifies a disturbance.
+type Kind int
+
+const (
+	// Crash takes an instance down, losing its KV cache and in-flight
+	// work. With a Duration the instance restores afterwards (empty).
+	Crash Kind = iota
+	// Slowdown multiplies an instance's pass durations by Factor
+	// (thermal throttling, a noisy neighbor). Factor >= 1.
+	Slowdown
+	// LinkDegrade scales all cross-instance link bandwidth to Factor of
+	// nominal (0 < Factor <= 1) — congestion or a failing NIC.
+	LinkDegrade
+	// Cancel aborts a Factor fraction of the currently in-flight
+	// requests, chosen by the plan's seeded RNG (client disconnects).
+	Cancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slowdown:
+		return "slow"
+	case LinkDegrade:
+		return "degrade"
+	case Cancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Role selects which side of the disaggregated deployment an instance
+// event targets. Systems without the role (vLLM has no decode instances)
+// map both roles onto their replica set.
+type Role int
+
+const (
+	// RolePrefill targets prefill instance Event.Instance.
+	RolePrefill Role = iota
+	// RoleDecode targets decode instance Event.Instance.
+	RoleDecode
+)
+
+func (r Role) String() string {
+	if r == RoleDecode {
+		return "d"
+	}
+	return "p"
+}
+
+// Event is one scheduled disturbance.
+type Event struct {
+	Kind Kind
+	// Role and Instance pick the target for Crash and Slowdown.
+	Role     Role
+	Instance int
+	// At is when the disturbance begins.
+	At sim.Time
+	// Duration is how long it lasts; 0 means it persists to the end of
+	// the run (permanent for Crash/Slowdown/LinkDegrade, irrelevant for
+	// Cancel, which is instantaneous).
+	Duration sim.Duration
+	// Factor parameterizes the disturbance: slowdown multiplier (>= 1),
+	// remaining bandwidth fraction (0..1], or cancelled request fraction
+	// (0..1].
+	Factor float64
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", e.Kind)
+	if e.Kind == Crash || e.Kind == Slowdown {
+		fmt.Fprintf(&b, ":%s%d", e.Role, e.Instance)
+	}
+	fmt.Fprintf(&b, "@%g", float64(e.At))
+	if e.Kind != Crash {
+		fmt.Fprintf(&b, "x%g", e.Factor)
+	}
+	if e.Duration > 0 {
+		fmt.Fprintf(&b, "+%g", e.Duration.Seconds())
+	}
+	return b.String()
+}
+
+// Plan is a seeded set of disturbances for one run.
+type Plan struct {
+	// Seed drives the plan's own randomness (cancellation victims). The
+	// workload seed stays separate so the same trace can be replayed
+	// under different plans.
+	Seed   int64
+	Events []Event
+}
+
+// String renders the plan in the spec syntax Parse accepts.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Validate checks every event for well-formedness.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative time", i, e)
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative duration", i, e)
+		}
+		if e.Instance < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative instance index", i, e)
+		}
+		switch e.Kind {
+		case Crash:
+			// No factor.
+		case Slowdown:
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: event %d (%s): slowdown factor %g < 1", i, e, e.Factor)
+			}
+		case LinkDegrade:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("fault: event %d (%s): degrade factor %g outside (0,1]", i, e, e.Factor)
+			}
+		case Cancel:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("fault: event %d (%s): cancel fraction %g outside (0,1]", i, e, e.Factor)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Parse reads a plan from a compact spec. Events are separated by ';',
+// each of the form
+//
+//	kind[:target]@time[xfactor][+duration]
+//
+// where kind is crash|slow|degrade|cancel, target is p<i> or d<i>
+// (prefill/decode instance i, required for crash and slow), time and
+// duration are seconds, and factor is the kind's parameter. Examples:
+//
+//	crash:d0@15          decode 0 dies at t=15s, permanently
+//	crash:p1@10+5        prefill 1 dies at t=10s, restores at t=15s
+//	slow:d0@10x2+20      decode 0 runs 2x slower from t=10s to t=30s
+//	degrade@20x0.25+30   links at 25% bandwidth from t=20s to t=50s
+//	cancel@12x0.2        20% of in-flight requests cancelled at t=12s
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, raw := range strings.Split(spec, ";") {
+		s := strings.TrimSpace(raw)
+		if s == "" {
+			continue
+		}
+		ev, err := parseEvent(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	head, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q: missing @time", s)
+	}
+	var ev Event
+	kind, target, hasTarget := strings.Cut(head, ":")
+	switch kind {
+	case "crash":
+		ev.Kind = Crash
+	case "slow":
+		ev.Kind = Slowdown
+	case "degrade":
+		ev.Kind = LinkDegrade
+	case "cancel":
+		ev.Kind = Cancel
+	default:
+		return Event{}, fmt.Errorf("fault: event %q: unknown kind %q", s, kind)
+	}
+	needsTarget := ev.Kind == Crash || ev.Kind == Slowdown
+	if needsTarget != hasTarget {
+		return Event{}, fmt.Errorf("fault: event %q: %s %s a :target", s, kind,
+			map[bool]string{true: "requires", false: "does not take"}[needsTarget])
+	}
+	if hasTarget {
+		role, idx, err := parseTarget(target)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: %v", s, err)
+		}
+		ev.Role, ev.Instance = role, idx
+	}
+	// rest is time[xfactor][+duration]; cut the '+' first since factors
+	// never contain one.
+	timeFactor, durStr, hasDur := strings.Cut(rest, "+")
+	timeStr, factorStr, hasFactor := strings.Cut(timeFactor, "x")
+	at, err := strconv.ParseFloat(timeStr, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: event %q: bad time %q", s, timeStr)
+	}
+	ev.At = sim.Time(at)
+	if hasFactor {
+		f, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: bad factor %q", s, factorStr)
+		}
+		ev.Factor = f
+	} else if ev.Kind != Crash {
+		return Event{}, fmt.Errorf("fault: event %q: %s requires an xfactor", s, kind)
+	}
+	if hasDur {
+		d, err := strconv.ParseFloat(durStr, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: bad duration %q", s, durStr)
+		}
+		ev.Duration = sim.Seconds(d)
+	}
+	return ev, nil
+}
+
+func parseTarget(t string) (Role, int, error) {
+	if len(t) < 2 {
+		return 0, 0, fmt.Errorf("bad target %q (want p<i> or d<i>)", t)
+	}
+	var role Role
+	switch t[0] {
+	case 'p':
+		role = RolePrefill
+	case 'd':
+		role = RoleDecode
+	default:
+		return 0, 0, fmt.Errorf("bad target %q (want p<i> or d<i>)", t)
+	}
+	idx, err := strconv.Atoi(t[1:])
+	if err != nil || idx < 0 {
+		return 0, 0, fmt.Errorf("bad target index in %q", t)
+	}
+	return role, idx, nil
+}
+
+// Hooks are the system-side effects a plan drives. Any hook may be nil;
+// its events are then dropped (a system without links ignores degrades).
+type Hooks struct {
+	// Crash takes the instance down; Restore brings it back (empty).
+	Crash   func(role Role, idx int)
+	Restore func(role Role, idx int)
+	// SetSlowdown multiplies the instance's pass durations; 1 restores
+	// nominal speed.
+	SetSlowdown func(role Role, idx int, factor float64)
+	// SetLinkDegrade scales cross-instance bandwidth; 1 restores nominal.
+	SetLinkDegrade func(frac float64)
+	// Cancel aborts a fraction of in-flight requests using the given
+	// seed to pick victims.
+	Cancel func(frac float64, seed int64)
+}
+
+// Apply schedules the plan's events on the simulator. It must be called
+// before the simulation runs (all event times are absolute).
+func Apply(s *sim.Simulator, p *Plan, h Hooks) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, e := range p.Events {
+		e := e
+		switch e.Kind {
+		case Crash:
+			if h.Crash == nil {
+				continue
+			}
+			s.At(e.At, func() { h.Crash(e.Role, e.Instance) })
+			if e.Duration > 0 && h.Restore != nil {
+				s.At(e.At.Add(e.Duration), func() { h.Restore(e.Role, e.Instance) })
+			}
+		case Slowdown:
+			if h.SetSlowdown == nil {
+				continue
+			}
+			s.At(e.At, func() { h.SetSlowdown(e.Role, e.Instance, e.Factor) })
+			if e.Duration > 0 {
+				s.At(e.At.Add(e.Duration), func() { h.SetSlowdown(e.Role, e.Instance, 1) })
+			}
+		case LinkDegrade:
+			if h.SetLinkDegrade == nil {
+				continue
+			}
+			s.At(e.At, func() { h.SetLinkDegrade(e.Factor) })
+			if e.Duration > 0 {
+				s.At(e.At.Add(e.Duration), func() { h.SetLinkDegrade(1) })
+			}
+		case Cancel:
+			if h.Cancel == nil {
+				continue
+			}
+			// Each cancel event gets its own derived seed so reordering
+			// or removing other events does not change its victims.
+			seed := p.Seed + int64(i)*1000003 + 1
+			s.At(e.At, func() { h.Cancel(e.Factor, seed) })
+		}
+	}
+	return nil
+}

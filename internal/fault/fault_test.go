@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"windserve/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "crash:d0@15+10; slow:p1@10x1.5+20; degrade@20x0.25+30; cancel@12x0.2"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: Crash, Role: RoleDecode, Instance: 0, At: 15, Duration: 10},
+		{Kind: Slowdown, Role: RolePrefill, Instance: 1, At: 10, Factor: 1.5, Duration: 20},
+		{Kind: LinkDegrade, At: 20, Factor: 0.25, Duration: 30},
+		{Kind: Cancel, At: 12, Factor: 0.2},
+	}
+	if len(p.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(p.Events), len(want))
+	}
+	for i, e := range p.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// String must re-parse to the same plan.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	for i := range p.Events {
+		if p2.Events[i] != p.Events[i] {
+			t.Errorf("round-trip event %d = %+v, want %+v", i, p2.Events[i], p.Events[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"crash@10",           // crash needs a target
+		"degrade:p0@10x0.5",  // degrade takes no target
+		"cancel@10",          // cancel needs a factor
+		"slow:d0@10x0.5",     // slowdown factor < 1
+		"degrade@10x1.5",     // degrade factor > 1
+		"cancel@10x0",        // cancel fraction must be positive
+		"boom:d0@10",         // unknown kind
+		"crash:x0@10",        // bad role
+		"crash:d-1@10",       // bad index
+		"crash:d0@-5",        // negative time
+		"crash:d0@5+-1",      // negative duration
+		"crash:d0",           // missing @time
+		"slow:p0@tenx2",      // bad time
+		"degrade@5xfast",     // bad factor
+		"crash:p0@5+forever", // bad duration
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseSkipsEmptyEvents(t *testing.T) {
+	p, err := Parse(" ; cancel@5x0.5 ;; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 1 || p.Events[0].Kind != Cancel {
+		t.Fatalf("got %+v, want one cancel event", p.Events)
+	}
+}
+
+func TestApplySchedulesAndRestores(t *testing.T) {
+	s := sim.New()
+	p := &Plan{Seed: 7, Events: []Event{
+		{Kind: Crash, Role: RoleDecode, Instance: 1, At: 5, Duration: 3},
+		{Kind: Slowdown, Role: RolePrefill, Instance: 0, At: 2, Factor: 2, Duration: 4},
+		{Kind: LinkDegrade, At: 1, Factor: 0.5, Duration: 2},
+		{Kind: Cancel, At: 4, Factor: 0.25},
+	}}
+	var log []string
+	h := Hooks{
+		Crash: func(role Role, idx int) {
+			log = append(log, fmt.Sprintf("crash %s%d @%v", role, idx, s.Now()))
+		},
+		Restore: func(role Role, idx int) {
+			log = append(log, fmt.Sprintf("restore %s%d @%v", role, idx, s.Now()))
+		},
+		SetSlowdown: func(role Role, idx int, f float64) {
+			log = append(log, fmt.Sprintf("slow %s%d x%g @%v", role, idx, f, s.Now()))
+		},
+		SetLinkDegrade: func(f float64) {
+			log = append(log, fmt.Sprintf("degrade x%g @%v", f, s.Now()))
+		},
+		Cancel: func(f float64, seed int64) {
+			log = append(log, fmt.Sprintf("cancel %g seed=%d @%v", f, seed, s.Now()))
+		},
+	}
+	if err := Apply(s, p, h); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	want := []string{
+		"degrade x0.5 @1.000000s",
+		"slow p0 x2 @2.000000s",
+		"degrade x1 @3.000000s",
+		"cancel 0.25 seed=3000017 @4.000000s",
+		"crash d1 @5.000000s",
+		"slow p0 x1 @6.000000s",
+		"restore d1 @8.000000s",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v\nwant  %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestApplyNilHooksAndPlan(t *testing.T) {
+	s := sim.New()
+	if err := Apply(s, nil, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{Events: []Event{{Kind: Crash, Role: RolePrefill, At: 1}}}
+	if err := Apply(s, p, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("nil hooks scheduled %d events", s.Pending())
+	}
+}
+
+func TestApplyValidates(t *testing.T) {
+	s := sim.New()
+	p := &Plan{Events: []Event{{Kind: Slowdown, Factor: 0.5, At: 1}}}
+	if err := Apply(s, p, Hooks{SetSlowdown: func(Role, int, float64) {}}); err == nil {
+		t.Fatal("Apply accepted an invalid plan")
+	}
+}

@@ -315,6 +315,15 @@ func (m *Manager) BackupBlocks() int {
 	return n
 }
 
+// Reset drops every allocation — GPU, swap, and backups — restoring full
+// free capacity, as when an instance crashes and its memory contents are
+// lost. Statistics accumulate across resets so a run's totals survive.
+func (m *Manager) Reset() {
+	m.gpuFree = m.gpuBlocks
+	m.cpuFree = m.cpuBlocks
+	m.tables = make(map[RequestID]*table)
+}
+
 func (m *Manager) touchPeak() {
 	if used := m.UsedBlocks(); used > m.stats.PeakBlocks {
 		m.stats.PeakBlocks = used

@@ -22,17 +22,44 @@ type SLO struct {
 	TPOT sim.Duration
 }
 
+// Outcome classifies how a request's lifecycle ended.
+type Outcome int
+
+const (
+	// OutcomeCompleted: every output token was produced.
+	OutcomeCompleted Outcome = iota
+	// OutcomeAborted: terminated in flight — a TTFT-deadline abort or a
+	// client cancellation.
+	OutcomeAborted
+	// OutcomeRejected: shed at admission before any work was done.
+	OutcomeRejected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
 // Record is the life of one request through the serving system.
 type Record struct {
 	ID           uint64
 	PromptTokens int
 	OutputTokens int
+	Outcome      Outcome
 
 	Arrival      sim.Time
 	PrefillStart sim.Time // prefill began executing
 	FirstToken   sim.Time // prefill finished (first output token emitted)
 	DecodeStart  sim.Time // first decode iteration began
-	Completion   sim.Time // EOS emitted
+	Completion   sim.Time // EOS emitted (or the abort/reject instant)
 
 	done bool
 }
@@ -73,6 +100,8 @@ func (r *Record) MeetsSLO(slo SLO) bool {
 type Recorder struct {
 	open      map[uint64]*Record
 	completed []*Record
+	aborted   []*Record
+	rejected  []*Record
 }
 
 // NewRecorder returns an empty recorder.
@@ -105,8 +134,14 @@ func (rec *Recorder) PrefillStart(id uint64, at sim.Time) {
 	}
 }
 
-// FirstToken marks prefill completion.
-func (rec *Recorder) FirstToken(id uint64, at sim.Time) { rec.get(id).FirstToken = at }
+// FirstToken marks prefill completion (first call wins — a request that
+// re-prefills after crash recovery already streamed its first token).
+func (rec *Recorder) FirstToken(id uint64, at sim.Time) {
+	r := rec.get(id)
+	if r.FirstToken == 0 {
+		r.FirstToken = at
+	}
+}
 
 // DecodeStart marks the first decode iteration (first call wins).
 func (rec *Recorder) DecodeStart(id uint64, at sim.Time) {
@@ -125,11 +160,64 @@ func (rec *Recorder) Complete(id uint64, at sim.Time) {
 	delete(rec.open, id)
 }
 
+// Abort finalizes an in-flight request as aborted (deadline miss or
+// client cancellation). Its record leaves the open set so it no longer
+// counts as outstanding, and it never joins the completed list.
+func (rec *Recorder) Abort(id uint64, at sim.Time) {
+	r := rec.get(id)
+	r.Completion = at
+	r.Outcome = OutcomeAborted
+	r.done = true
+	rec.aborted = append(rec.aborted, r)
+	delete(rec.open, id)
+}
+
+// Reject finalizes a request shed at admission.
+func (rec *Recorder) Reject(id uint64, at sim.Time) {
+	r := rec.get(id)
+	r.Completion = at
+	r.Outcome = OutcomeRejected
+	r.done = true
+	rec.rejected = append(rec.rejected, r)
+	delete(rec.open, id)
+}
+
 // Completed returns finalized records in completion order.
 func (rec *Recorder) Completed() []*Record { return rec.completed }
 
+// Aborted returns aborted records in abort order.
+func (rec *Recorder) Aborted() []*Record { return rec.aborted }
+
+// Rejected returns shed records in rejection order.
+func (rec *Recorder) Rejected() []*Record { return rec.rejected }
+
 // Outstanding returns the number of requests still in flight.
 func (rec *Recorder) Outstanding() int { return len(rec.open) }
+
+// InFlight reports whether the request is still open (arrived, not yet
+// completed, aborted, or rejected).
+func (rec *Recorder) InFlight(id uint64) bool {
+	_, ok := rec.open[id]
+	return ok
+}
+
+// HasFirstToken reports whether an in-flight request has produced its
+// first output token (false for unknown or finalized requests).
+func (rec *Recorder) HasFirstToken(id uint64) bool {
+	r, ok := rec.open[id]
+	return ok && r.FirstToken != 0
+}
+
+// OpenIDs returns the in-flight request ids in ascending order — the
+// deterministic sampling frame for client-cancellation faults.
+func (rec *Recorder) OpenIDs() []uint64 {
+	ids := make([]uint64, 0, len(rec.open))
+	for id := range rec.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // Summary is the digest the benchmark harness prints (one row per system
 // per request rate in Fig. 10/11).
@@ -152,7 +240,11 @@ type Summary struct {
 	TPOTAttainment float64
 
 	ThroughputRPS float64 // completed requests per second of span
-	TokensPerSec  float64 // output tokens per second of span
+	// GoodputRPS counts only SLO-attaining completions per second — the
+	// quantity load shedding is meant to protect: work the system both
+	// finished and finished fast enough.
+	GoodputRPS   float64
+	TokensPerSec float64 // output tokens per second of span
 }
 
 // Summarize digests the completed records against an SLO.
@@ -218,6 +310,7 @@ func Summarize(records []*Record, slo SLO) Summary {
 	}
 	if span > 0 {
 		s.ThroughputRPS = float64(n) / span
+		s.GoodputRPS = float64(meets) / span
 		s.TokensPerSec = float64(outTokens) / span
 	}
 	return s

@@ -39,6 +39,11 @@ type DispatchInput struct {
 	// AssistInFlightTokens counts prefill tokens already dispatched and
 	// not yet finished in the decode instance.
 	AssistInFlightTokens int
+	// TransferBytes is the KV payload the prefill path would have to move
+	// to a decode instance afterwards. Priced with the Profiler's observed
+	// transfer rate, it biases dispatch toward the decode instance (whose
+	// prefill needs no transfer) when links degrade.
+	TransferBytes float64
 }
 
 // DispatchDecision is the outcome of Algorithm 1 for one arrival.
@@ -56,7 +61,8 @@ type DispatchDecision struct {
 // instance; if it exceeds the threshold and the decode instance has
 // enough slots (budget and KV), dispatch there.
 func (c *Coordinator) DecideDispatch(in DispatchInput) DispatchDecision {
-	pred := c.Prof.PredictPrefill(in.QueuedPrefillTokens+in.NewPromptTokens) + in.PrefillBusyRemaining
+	pred := c.Prof.PredictPrefill(in.QueuedPrefillTokens+in.NewPromptTokens) + in.PrefillBusyRemaining +
+		c.Prof.PredictTransfer(in.TransferBytes)
 
 	slots := c.BudgetTokens - in.AssistInFlightTokens
 	if kvRoom := in.DecodeFreeKVTokens - c.KVSafetyTokens; kvRoom < slots {

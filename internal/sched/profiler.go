@@ -28,6 +28,14 @@ type Profiler struct {
 	decodeCoef  []float64 // c_d, a_d
 	PrefillR2   float64
 	DecodeR2    float64
+
+	// xferRate is an EWMA of observed cross-instance transfer throughput
+	// (bytes/second), fed back by the serving layer from completed KV
+	// copies. Unlike the compute curves it is learned online, because
+	// link health changes at runtime (degradation faults, congestion);
+	// Dynamic Prefill Dispatch folds the resulting transfer-time estimate
+	// into its TTFT prediction so dispatch adapts to slow links.
+	xferRate float64
 }
 
 // ProfileOptions controls the offline sampling grid.
@@ -130,6 +138,35 @@ func (p *Profiler) PredictDecode(sumCtx int) sim.Duration {
 	}
 	return sim.Seconds(v)
 }
+
+// ObserveTransfer folds one completed KV copy (payload size and wall
+// time, including queuing) into the transfer-throughput EWMA.
+func (p *Profiler) ObserveTransfer(bytes float64, d sim.Duration) {
+	if bytes <= 0 || d <= 0 {
+		return
+	}
+	rate := bytes / d.Seconds()
+	if p.xferRate == 0 {
+		p.xferRate = rate
+		return
+	}
+	p.xferRate = 0.8*p.xferRate + 0.2*rate
+}
+
+// PredictTransfer estimates the time to move a KV payload across the
+// interconnect at the observed rate. Zero until the first observation —
+// before any transfer completes the Profiler has nothing to go on, which
+// matches the paper's compute-only Algorithm 1.
+func (p *Profiler) PredictTransfer(bytes float64) sim.Duration {
+	if bytes <= 0 || p.xferRate <= 0 {
+		return 0
+	}
+	return sim.Seconds(bytes / p.xferRate)
+}
+
+// TransferRate returns the current observed link throughput estimate in
+// bytes/second (0 before any observation).
+func (p *Profiler) TransferRate() float64 { return p.xferRate }
 
 // PrefillCoefficients returns (c_p, a_p, b_p).
 func (p *Profiler) PrefillCoefficients() (c, a, b float64) {

@@ -1,34 +1,131 @@
 package serve
 
 import (
+	"math"
+	"math/rand"
+	"sort"
+
 	"windserve/internal/engine"
 	"windserve/internal/metrics"
 	"windserve/internal/sim"
 	"windserve/internal/workload"
 )
 
-// runner holds the state every system run shares.
+// runner holds the state every system run shares: the simulator, the
+// metrics recorder, and the request-lifecycle machinery (admission
+// control, deadline aborts, cancellation faults, crash recovery
+// accounting) that the three systems plug their policies into.
 type runner struct {
 	s   *sim.Simulator
 	rec *metrics.Recorder
 	cfg Config
+
+	// live indexes in-flight requests by id so the lifecycle machinery
+	// (deadline aborts, cancellation faults) can reach them without a
+	// per-system lookup. Systems never touch it directly: scheduleArrivals
+	// adds, recorderHooks' OnComplete and abortReq remove.
+	live map[uint64]*engine.Req
+	// recovered collects ids that survived an instance crash (re-prefilled
+	// or restored from backup). A set, not a counter: one request can be
+	// orphaned by several crashes but counts once.
+	recovered map[uint64]bool
+
+	aborted  int
+	rejected int
+
+	// queueDepth reports how many requests are waiting for prefill across
+	// all instances — the admission-control signal. Systems set it before
+	// arrivals start; nil disables shedding even if configured.
+	queueDepth func() int
+	// onAbort removes an aborted request from the owning system's
+	// structures (queues, running batches, KV, transfer maps). The
+	// request's Phase is already PhaseAborted when it is called.
+	onAbort func(q *engine.Req)
 }
 
-func newRunner(cfg Config) *runner {
+func newRunner(cfg Config) (*runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
-	return &runner{s: sim.New(), rec: metrics.NewRecorder(), cfg: cfg}
+	return &runner{
+		s:         sim.New(),
+		rec:       metrics.NewRecorder(),
+		cfg:       cfg,
+		live:      make(map[uint64]*engine.Req),
+		recovered: make(map[uint64]bool),
+	}, nil
 }
 
-// scheduleArrivals feeds the trace into the system via submit.
+// scheduleArrivals feeds the trace into the system via submit, applying
+// the shed policy at each arrival: admission control first (a rejected
+// request does no work at all), then a TTFT-deadline timer that aborts
+// the request if it has produced no first token in time.
 func (r *runner) scheduleArrivals(reqs []workload.Request, submit func(*engine.Req)) {
 	for _, w := range reqs {
 		w := w
 		r.s.At(w.Arrival, func() {
 			r.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
-			submit(engine.NewReq(w))
+			if d := r.cfg.Shed.MaxQueueDepth; d > 0 && r.queueDepth != nil && r.queueDepth() >= d {
+				r.rec.Reject(w.ID, r.s.Now())
+				r.rejected++
+				return
+			}
+			q := engine.NewReq(w)
+			r.live[w.ID] = q
+			if dl := r.cfg.Shed.TTFTDeadline; dl > 0 {
+				id := w.ID
+				r.s.Schedule(dl, func() {
+					if r.rec.InFlight(id) && !r.rec.HasFirstToken(id) {
+						r.abortReq(id)
+					}
+				})
+			}
+			submit(q)
 		})
 	}
 }
+
+// abortReq terminates one in-flight request: finalize its record, flip
+// its phase to PhaseAborted (so any engine pass or transfer callback
+// still holding it skips it), then let the system scrub its structures.
+func (r *runner) abortReq(id uint64) {
+	q, ok := r.live[id]
+	if !ok || !r.rec.InFlight(id) {
+		return
+	}
+	delete(r.live, id)
+	r.rec.Abort(id, r.s.Now())
+	r.aborted++
+	q.Phase = engine.PhaseAborted
+	if r.onAbort != nil {
+		r.onAbort(q)
+	}
+}
+
+// cancelFrac aborts a seeded-random fraction of the currently in-flight
+// requests — the client-cancellation fault. The victim sample is drawn
+// from the sorted open-id list with a dedicated PRNG so the same plan
+// cancels the same requests on every system and every run.
+func (r *runner) cancelFrac(frac float64, seed int64) {
+	ids := r.rec.OpenIDs()
+	n := len(ids)
+	k := int(math.Round(frac * float64(n)))
+	if k <= 0 {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	picks := rand.New(rand.NewSource(seed)).Perm(n)[:k]
+	sort.Ints(picks)
+	for _, i := range picks {
+		r.abortReq(ids[i])
+	}
+}
+
+// markRecovered notes that a request survived an instance crash.
+func (r *runner) markRecovered(q *engine.Req) { r.recovered[q.W.ID] = true }
 
 // run drains the simulation (bounded by the horizon past the last arrival)
 // and assembles the shared parts of the result.
@@ -44,6 +141,9 @@ func (r *runner) run(reqs []workload.Request, system string) *Result {
 		Unfinished: r.rec.Outstanding(),
 		Elapsed:    r.s.Now(),
 		Records:    r.rec.Completed(),
+		Aborted:    r.aborted,
+		Rejected:   r.rejected,
+		Recovered:  len(r.recovered),
 	}
 	res.Summary = metrics.Summarize(res.Records, r.cfg.SLO)
 	return res
@@ -57,7 +157,10 @@ func (r *runner) recorderHooks() engine.Hooks {
 		OnFirstToken:   func(q *engine.Req) { r.rec.FirstToken(q.W.ID, r.s.Now()) },
 		OnPrefillDone:  nil, // system-specific; nil = admit locally
 		OnDecodeStart:  func(q *engine.Req) { r.rec.DecodeStart(q.W.ID, r.s.Now()) },
-		OnComplete:     func(q *engine.Req) { r.rec.Complete(q.W.ID, r.s.Now()) },
+		OnComplete: func(q *engine.Req) {
+			delete(r.live, q.W.ID)
+			r.rec.Complete(q.W.ID, r.s.Now())
+		},
 	}
 }
 

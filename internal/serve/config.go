@@ -18,6 +18,7 @@ package serve
 import (
 	"fmt"
 
+	"windserve/internal/fault"
 	"windserve/internal/gpu"
 	"windserve/internal/metrics"
 	"windserve/internal/model"
@@ -66,6 +67,28 @@ type Config struct {
 	Tracer *trace.Tracer
 
 	Wind WindOptions
+
+	// Shed is the SLO-aware request lifecycle policy (admission control
+	// and TTFT-deadline aborts). The zero value disables both.
+	Shed ShedPolicy
+	// Faults optionally injects a disturbance plan into the run; every
+	// system recovers per DESIGN.md's fault model. Nil means a clean run.
+	Faults *fault.Plan
+}
+
+// ShedPolicy is SLO-aware load shedding: rather than queue arrivals
+// beyond any hope of meeting the TTFT SLO (and drag every other request
+// down with them), the system rejects at admission and aborts requests
+// whose deadline has passed — trading raw throughput for goodput.
+type ShedPolicy struct {
+	// MaxQueueDepth rejects an arrival when the number of requests
+	// waiting for prefill across all instances is already at least this.
+	// 0 disables admission control.
+	MaxQueueDepth int
+	// TTFTDeadline aborts a request that has not produced its first
+	// token this long after arrival (a client-side timeout). 0 disables
+	// deadline aborts.
+	TTFTDeadline sim.Duration
 }
 
 // WindOptions are WindServe's policy knobs and ablation switches.
@@ -180,6 +203,65 @@ func DefaultWindOptions() WindOptions {
 		Resched:       sched.DefaultReschedulePolicy(),
 		Backup:        sched.DefaultBackupPolicy(),
 	}
+}
+
+// validate rejects configurations that fillDefaults would otherwise mask
+// (negative counts silently becoming 1) or that would surface as a panic
+// or nonsense deep inside a run. It runs before fillDefaults, so zero
+// values that mean "use the default" are still checked for sign only —
+// except BlockSize, whose zero value has historically caused the
+// confusing kvcache construction failure this guards against.
+func (c *Config) validate() error {
+	if c.NumPrefill < 0 {
+		return fmt.Errorf("serve: NumPrefill %d is negative", c.NumPrefill)
+	}
+	if c.NumDecode < 0 {
+		return fmt.Errorf("serve: NumDecode %d is negative", c.NumDecode)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("serve: BlockSize %d must be positive", c.BlockSize)
+	}
+	if c.ReserveFrac < 0 || c.ReserveFrac >= 1 {
+		return fmt.Errorf("serve: ReserveFrac %g outside [0,1)", c.ReserveFrac)
+	}
+	if c.Wind.ThresholdFrac < 0 {
+		return fmt.Errorf("serve: Wind.ThresholdFrac %g is negative", c.Wind.ThresholdFrac)
+	}
+	if c.Wind.KVSafetyFrac < 0 || c.Wind.KVSafetyFrac >= 1 {
+		return fmt.Errorf("serve: Wind.KVSafetyFrac %g outside [0,1)", c.Wind.KVSafetyFrac)
+	}
+	if c.Shed.MaxQueueDepth < 0 {
+		return fmt.Errorf("serve: Shed.MaxQueueDepth %d is negative", c.Shed.MaxQueueDepth)
+	}
+	if c.Shed.TTFTDeadline < 0 {
+		return fmt.Errorf("serve: Shed.TTFTDeadline %v is negative", c.Shed.TTFTDeadline)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		np, nd := c.NumPrefill, c.NumDecode
+		if np == 0 {
+			np = 1
+		}
+		if nd == 0 {
+			nd = 1
+		}
+		for i, e := range c.Faults.Events {
+			if e.Kind != fault.Crash && e.Kind != fault.Slowdown {
+				continue
+			}
+			limit := np
+			if e.Role == fault.RoleDecode {
+				limit = nd
+			}
+			if e.Instance >= limit {
+				return fmt.Errorf("serve: fault event %d (%s) targets instance %d of %d %s instances",
+					i, e, e.Instance, limit, e.Role)
+			}
+		}
+	}
+	return nil
 }
 
 func (c *Config) fillDefaults() {

@@ -6,6 +6,7 @@ import (
 	"windserve/internal/cluster"
 	"windserve/internal/engine"
 	"windserve/internal/kvcache"
+	"windserve/internal/sim"
 	"windserve/internal/trace"
 	"windserve/internal/workload"
 	"windserve/internal/xfer"
@@ -21,12 +22,20 @@ import (
 // With multiple instances (Config.NumPrefill/NumDecode), requests are
 // routed round-robin — DistServe's orchestration is static.
 func RunDistServe(cfg Config, reqs []workload.Request) (*Result, error) {
-	r := newRunner(cfg)
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	cfg = r.cfg
 
 	d, err := newPD(r, cfg, pdHooks{})
 	if err != nil {
 		return nil, fmt.Errorf("serve: planning DistServe: %w", err)
+	}
+	r.queueDepth = d.queueDepth
+	r.onAbort = d.abort
+	if err := installPDFaults(r, d); err != nil {
+		return nil, err
 	}
 	r.scheduleArrivals(reqs, func(q *engine.Req) {
 		d.prefillRR(q)
@@ -42,6 +51,7 @@ func RunDistServe(cfg Config, reqs []workload.Request) (*Result, error) {
 type pd struct {
 	r        *runner
 	cfg      Config
+	ph       pdHooks
 	prefills []*engine.Instance
 	decodes  []*engine.Instance
 	// p2d[i][j] carries post-prefill KV transfers from prefill i to
@@ -73,6 +83,15 @@ type pdHooks struct {
 	onDecodeIterEnd func(j int)
 	// onComplete observes completions on any instance (backup cleanup).
 	onComplete func(q *engine.Req)
+	// onTransfer observes every completed p2d KV copy (payload bytes and
+	// wall time including link queuing) — the Profiler's transfer-rate
+	// feedback.
+	onTransfer func(bytes float64, elapsed sim.Duration)
+	// crashPrefill/crashDecode override orphan recovery after a crash of
+	// the given instance (WindServe's backup-aware path). Nil uses the
+	// pd-default re-prefill-from-scratch recovery.
+	crashPrefill func(i int)
+	crashDecode  func(j int)
 	// decodeSBD enables the second stream on decode instances.
 	decodeSBD bool
 	// decodeAllowPrefill lets decode instances run prefill in their main
@@ -95,7 +114,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 	pAsg, dAsg := asg[:cfg.NumPrefill], asg[cfg.NumPrefill:]
 
 	d := &pd{
-		r: r, cfg: cfg,
+		r: r, cfg: cfg, ph: ph,
 		prefillAt: make(map[uint64]int),
 		decodeAt:  make(map[uint64]int),
 	}
@@ -203,10 +222,23 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 	return d, nil
 }
 
-// prefillRR enqueues a request on the next prefill instance round-robin.
+// prefillRR enqueues a request on the next live prefill instance
+// round-robin. With every instance down the request parks on instance 0's
+// queue; a later Restore drains it.
 func (d *pd) prefillRR(q *engine.Req) {
-	i := d.rr.prefill % len(d.prefills)
-	d.rr.prefill++
+	n := len(d.prefills)
+	i := -1
+	for k := 0; k < n; k++ {
+		c := (d.rr.prefill + k) % n
+		if !d.prefills[c].Down() {
+			i = c
+			break
+		}
+	}
+	if i < 0 {
+		i = d.rr.prefill % n
+	}
+	d.rr.prefill = i + 1
 	d.prefillAt[q.W.ID] = i
 	d.prefills[i].EnqueuePrefill(q)
 }
@@ -215,11 +247,15 @@ func (d *pd) prefillRR(q *engine.Req) {
 // was never routed — defensive).
 func (d *pd) prefillIdx(q *engine.Req) int { return d.prefillAt[q.W.ID] }
 
-// pickDecode returns the decode instance with the most free KV tokens.
+// pickDecode returns the live decode instance with the most free KV
+// tokens, or -1 when every decode instance is down.
 func (d *pd) pickDecode() int {
-	best := 0
-	for j := 1; j < len(d.decodes); j++ {
-		if d.decodes[j].FreeKVTokens() > d.decodes[best].FreeKVTokens() {
+	best := -1
+	for j := 0; j < len(d.decodes); j++ {
+		if d.decodes[j].Down() {
+			continue
+		}
+		if best < 0 || d.decodes[j].FreeKVTokens() > d.decodes[best].FreeKVTokens() {
 			best = j
 		}
 	}
@@ -242,26 +278,62 @@ func (d *pd) serialTransfer(q *engine.Req) {
 }
 
 func (d *pd) tryStartTransfer(q *engine.Req) bool {
+	if q.Phase == engine.PhaseAborted {
+		return true // cancelled while queued for transfer; just drop it
+	}
 	// Static round-robin for DistServe-style transfers, but skip decode
-	// instances that cannot hold the request right now.
+	// instances that are down or cannot hold the request right now.
 	n := len(d.decodes)
 	for k := 0; k < n; k++ {
 		j := (d.rr.decode + k) % n
+		if d.decodes[j].Down() {
+			continue
+		}
 		if d.decodes[j].KV().Allocate(q.KVID(), q.Ctx()+1) == nil {
 			d.rr.decode = (j + 1) % n
 			d.decodeAt[q.W.ID] = j
 			i := d.prefillIdx(q)
 			start := d.r.s.Now()
-			d.p2d[i][j].Transfer(d.kvBytes(q.Ctx()), func() {
+			bytes := d.kvBytes(q.Ctx())
+			d.p2d[i][j].Transfer(bytes, func() {
+				d.observeTransfer(bytes, start)
 				d.cfg.Tracer.Add(fmt.Sprintf("link p%d-d%d", i, j), trace.KindKVTransfer, start, d.r.s.Now(),
 					fmt.Sprintf("req%d %d tokens", q.W.ID, q.Ctx()))
 				d.prefills[i].ReleaseKV(q)
+				if q.Phase == engine.PhaseAborted {
+					d.releaseAt(d.decodes[j], q)
+					return
+				}
+				if d.decodes[j].Down() {
+					// The target crashed while the payload was in flight (its
+					// KV reset dropped the allocation). Re-route through the
+					// serial path to a surviving instance.
+					delete(d.decodeAt, q.W.ID)
+					d.serialTransfer(q)
+					return
+				}
 				d.decodes[j].AdmitDecode(q)
 			})
 			return true
 		}
 	}
 	return false
+}
+
+// observeTransfer feeds a completed p2d copy back to the hooks (Profiler
+// transfer-rate learning).
+func (d *pd) observeTransfer(bytes float64, start sim.Time) {
+	if d.ph.onTransfer != nil {
+		d.ph.onTransfer(bytes, d.r.s.Now().Sub(start))
+	}
+}
+
+// releaseAt frees a request's KV on one instance if present, re-kicking it.
+func (d *pd) releaseAt(ins *engine.Instance, q *engine.Req) {
+	if ins.KV().Has(q.KVID()) {
+		_ = ins.KV().Release(q.KVID())
+		ins.Kick()
+	}
 }
 
 // retryTransfers re-attempts queued transfers FCFS whenever decode blocks
@@ -272,6 +344,99 @@ func (d *pd) retryTransfers() {
 			return
 		}
 		d.transferPending = d.transferPending[1:]
+	}
+}
+
+// queueDepth is the admission-control signal: requests waiting for
+// prefill anywhere, plus prefilled requests stuck waiting for decode KV.
+func (d *pd) queueDepth() int {
+	n := len(d.transferPending)
+	for _, ins := range d.prefills {
+		n += ins.NumQueued()
+	}
+	for _, ins := range d.decodes {
+		n += ins.NumQueued()
+	}
+	return n
+}
+
+// abort scrubs a terminated request (Phase already PhaseAborted) from the
+// cluster: both owning instances and the transfer queue. KV held on a
+// link-transfer in flight is released by that transfer's own callback.
+func (d *pd) abort(q *engine.Req) {
+	if i, ok := d.prefillAt[q.W.ID]; ok {
+		d.prefills[i].Abort(q)
+		delete(d.prefillAt, q.W.ID)
+	}
+	if j, ok := d.decodeAt[q.W.ID]; ok {
+		d.decodes[j].Abort(q)
+		delete(d.decodeAt, q.W.ID)
+	}
+	for i, p := range d.transferPending {
+		if p == q {
+			d.transferPending = append(d.transferPending[:i], d.transferPending[i+1:]...)
+			break
+		}
+	}
+}
+
+// degradeLinks scales every cross-instance link to frac of nominal
+// bandwidth (1 restores). Host swap links are instance-local PCIe and stay
+// nominal.
+func (d *pd) degradeLinks(frac float64) {
+	for i := range d.p2d {
+		for j := range d.p2d[i] {
+			d.p2d[i][j].SetDegradation(frac)
+		}
+	}
+	for j := range d.d2p {
+		for i := range d.d2p[j] {
+			d.d2p[j][i].SetDegradation(frac)
+		}
+	}
+}
+
+// crashPrefillDefault is DistServe's prefill-crash recovery: every orphan
+// (queued or mid-prefill on the dead instance, or prefilled but waiting on
+// its now-lost KV for transfer) re-prefills from scratch on a survivor.
+func (d *pd) crashPrefillDefault(i int) {
+	orphans := d.prefills[i].Crash()
+	keep := d.transferPending[:0]
+	for _, q := range d.transferPending {
+		if d.prefillAt[q.W.ID] == i {
+			orphans = append(orphans, q)
+		} else {
+			keep = append(keep, q)
+		}
+	}
+	d.transferPending = keep
+	for _, q := range orphans {
+		if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted {
+			continue
+		}
+		delete(d.prefillAt, q.W.ID)
+		delete(d.decodeAt, q.W.ID)
+		q.PrefillDone = 0
+		d.r.markRecovered(q)
+		d.prefillRR(q)
+	}
+}
+
+// crashDecodeDefault is DistServe's decode-crash recovery: orphans lose
+// their KV and re-enter the system as fresh prefills (no backups to
+// restore from).
+func (d *pd) crashDecodeDefault(j int) {
+	for _, q := range d.decodes[j].Crash() {
+		if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted {
+			continue
+		}
+		delete(d.decodeAt, q.W.ID)
+		delete(d.prefillAt, q.W.ID)
+		q.PrefillDone = 0
+		q.Generated = 0 // generated-token KV died with the instance
+		q.Assist = false
+		d.r.markRecovered(q)
+		d.prefillRR(q)
 	}
 }
 
@@ -295,6 +460,12 @@ func (d *pd) finalize(res *Result) {
 		stall += ins.SwapStall.Seconds()
 	}
 	res.PrefillKV, res.DecodeKV = pStats, dStats
+	for _, ins := range d.prefills {
+		res.LiveKVBlocks += ins.KV().UsedBlocks()
+	}
+	for _, ins := range d.decodes {
+		res.LiveKVBlocks += ins.KV().UsedBlocks()
+	}
 	res.PrefillComputeUtil = pcu / float64(len(d.prefills))
 	res.PrefillBWUtil = pbu / float64(len(d.prefills))
 	res.DecodeComputeUtil = dcu / float64(len(d.decodes))

@@ -16,7 +16,20 @@ type Result struct {
 	// Unfinished counts requests still in flight when the simulation hit
 	// its horizon (a saturated system).
 	Unfinished int
-	Elapsed    sim.Time
+	// Aborted counts requests terminated in flight (TTFT-deadline misses
+	// and client cancellations); Rejected counts arrivals shed at
+	// admission. Together with completions and Unfinished they partition
+	// the trace: every request ends in exactly one of the four states.
+	Aborted  int
+	Rejected int
+	// Recovered counts requests that survived an instance crash — orphaned
+	// mid-flight and then restored from a KV backup or re-prefilled.
+	Recovered int
+	// LiveKVBlocks is the GPU+CPU blocks still allocated across all
+	// instances when the run ended; nonzero with Unfinished == 0 means a
+	// leak (crash recovery failed to release something).
+	LiveKVBlocks int
+	Elapsed      sim.Time
 
 	Summary metrics.Summary
 	Records []*metrics.Record
@@ -41,9 +54,14 @@ type Result struct {
 
 func (r *Result) String() string {
 	s := r.Summary
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"%s: %d reqs (%d unfinished) | TTFT p50=%v p99=%v | TPOT p90=%v p99=%v | SLO %.1f%% (ttft %.1f%%, tpot %.1f%%)",
 		r.System, r.Requests, r.Unfinished,
 		s.TTFTP50, s.TTFTP99, s.TPOTP90, s.TPOTP99,
 		100*s.Attainment, 100*s.TTFTAttainment, 100*s.TPOTAttainment)
+	if r.Aborted > 0 || r.Rejected > 0 || r.Recovered > 0 {
+		out += fmt.Sprintf(" | aborted %d, rejected %d, recovered %d, goodput %.2f rps",
+			r.Aborted, r.Rejected, r.Recovered, s.GoodputRPS)
+	}
+	return out
 }

@@ -21,7 +21,10 @@ import (
 // (prefill+decode GPUs) / ColocatedPlace.GPUs() identical replicas with
 // round-robin request routing.
 func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
-	r := newRunner(cfg)
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	cfg = r.cfg
 
 	totalGPUs := cfg.TotalGPUs()
@@ -59,11 +62,43 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		instances[i] = ins
 	}
 
+	at := make(map[uint64]int) // request → replica, for abort scrubbing
 	next := 0
-	r.scheduleArrivals(reqs, func(q *engine.Req) {
-		instances[next%replicas].EnqueuePrefill(q)
-		next++
-	})
+	route := func(q *engine.Req) {
+		// Round-robin over live replicas; with all replicas down, park on
+		// the nominal one until a restore drains its queue.
+		i := -1
+		for k := 0; k < replicas; k++ {
+			c := (next + k) % replicas
+			if !instances[c].Down() {
+				i = c
+				break
+			}
+		}
+		if i < 0 {
+			i = next % replicas
+		}
+		next = i + 1
+		at[q.W.ID] = i
+		instances[i].EnqueuePrefill(q)
+	}
+	r.queueDepth = func() int {
+		n := 0
+		for _, ins := range instances {
+			n += ins.NumQueued()
+		}
+		return n
+	}
+	r.onAbort = func(q *engine.Req) {
+		if i, ok := at[q.W.ID]; ok {
+			instances[i].Abort(q)
+			delete(at, q.W.ID)
+		}
+	}
+	if err := installVLLMFaults(r, instances, route); err != nil {
+		return nil, err
+	}
+	r.scheduleArrivals(reqs, route)
 	res := r.run(reqs, "vLLM")
 
 	// Aggregate replica telemetry.
@@ -83,6 +118,7 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		cu += c
 		bu += b
 		stall += ins.SwapStall.Seconds()
+		res.LiveKVBlocks += kvs[i].UsedBlocks()
 	}
 	res.DecodeKV = stats
 	res.PrefillKV = stats

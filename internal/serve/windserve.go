@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"windserve/internal/engine"
 	"windserve/internal/sched"
@@ -30,7 +31,10 @@ import (
 // migrations pick the prefill instance with the most spare blocks.
 // The ablations of §5.4 are flags in Config.Wind.
 func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
-	r := newRunner(cfg)
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	cfg = r.cfg
 
 	w := &windState{
@@ -46,6 +50,9 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 		transfer:           w.finishPrefillTransfer,
 		onDecodeIterEnd:    w.onDecodeIterEnd,
 		onComplete:         w.onComplete,
+		onTransfer:         w.observeTransfer,
+		crashPrefill:       w.crashPrefill,
+		crashDecode:        w.crashDecode,
 		decodeSBD:          !cfg.Wind.DisableSBD,
 		decodeAllowPrefill: cfg.Wind.DisableSBD,
 	})
@@ -53,6 +60,11 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 		return nil, fmt.Errorf("serve: planning WindServe: %w", err)
 	}
 	w.d = d
+	r.queueDepth = d.queueDepth
+	r.onAbort = w.abort
+	if err := installPDFaults(r, d); err != nil {
+		return nil, err
+	}
 
 	prof, err := sched.Profile(d.prefills[0].CM(), nil)
 	if err != nil {
@@ -107,22 +119,34 @@ func (w *windState) systemName() string {
 	}
 }
 
-// leastLoadedPrefillIdx is the dispatch-view prefill target.
+// leastLoadedPrefillIdx is the dispatch-view prefill target (down
+// instances skipped; with everything down, requests park on instance 0
+// until a restore).
 func (w *windState) leastLoadedPrefillIdx() int {
-	best := 0
-	for i := 1; i < len(w.d.prefills); i++ {
-		if w.d.prefills[i].QueuedPrefillTokens() < w.d.prefills[best].QueuedPrefillTokens() {
+	best := -1
+	for i := 0; i < len(w.d.prefills); i++ {
+		if w.d.prefills[i].Down() {
+			continue
+		}
+		if best < 0 || w.d.prefills[i].QueuedPrefillTokens() < w.d.prefills[best].QueuedPrefillTokens() {
 			best = i
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
 
-// freestPrefillIdx is the migration/backup target: most free KV tokens.
+// freestPrefillIdx is the migration/backup target: the live prefill
+// instance with the most free KV tokens, or -1 when all are down.
 func (w *windState) freestPrefillIdx() int {
-	best := 0
-	for i := 1; i < len(w.d.prefills); i++ {
-		if w.d.prefills[i].FreeKVTokens() > w.d.prefills[best].FreeKVTokens() {
+	best := -1
+	for i := 0; i < len(w.d.prefills); i++ {
+		if w.d.prefills[i].Down() {
+			continue
+		}
+		if best < 0 || w.d.prefills[i].FreeKVTokens() > w.d.prefills[best].FreeKVTokens() {
 			best = i
 		}
 	}
@@ -132,8 +156,7 @@ func (w *windState) freestPrefillIdx() int {
 // submit routes an arrival through Dynamic Prefill Dispatch (Algorithm 1).
 func (w *windState) submit(q *engine.Req) {
 	pi := w.leastLoadedPrefillIdx()
-	if !w.cfg.Wind.DisableDispatch {
-		dj := w.d.pickDecode()
+	if dj := w.d.pickDecode(); !w.cfg.Wind.DisableDispatch && dj >= 0 {
 		dec := w.d.decodes[dj]
 		in := sched.DispatchInput{
 			NewPromptTokens:      q.W.PromptTokens,
@@ -141,6 +164,7 @@ func (w *windState) submit(q *engine.Req) {
 			PrefillBusyRemaining: w.d.prefills[pi].BusyRemaining(),
 			DecodeFreeKVTokens:   dec.FreeKVTokens(),
 			AssistInFlightTokens: dec.AssistPendingTokens() + dec.QueuedPrefillTokens(),
+			TransferBytes:        w.d.kvBytes(q.W.PromptTokens),
 		}
 		decision := w.coord.DecideDispatch(in)
 		if decision.ToDecode && dec.KV().Allocate(q.KVID(), q.W.PromptTokens+1) == nil {
@@ -155,6 +179,14 @@ func (w *windState) submit(q *engine.Req) {
 	}
 	w.d.prefillAt[q.W.ID] = pi
 	w.d.prefills[pi].EnqueuePrefill(q)
+}
+
+// observeTransfer feeds completed p2d copies into the Profiler so
+// Algorithm 1's TTFT prediction prices the transfer a prefill-side
+// placement implies — on a degraded link that bias shifts dispatch toward
+// the decode instance.
+func (w *windState) observeTransfer(bytes float64, elapsed sim.Duration) {
+	w.coord.Prof.ObserveTransfer(bytes, elapsed)
 }
 
 // asyncXfer tracks a transfer overlapped with prefill: the request may
@@ -174,6 +206,9 @@ func (w *windState) maybeStartAsyncTransfer(q *engine.Req) {
 		return
 	}
 	dj := w.d.pickDecode()
+	if dj < 0 {
+		return // every decode instance is down; serial path retries later
+	}
 	if w.d.decodes[dj].KV().Allocate(q.KVID(), q.W.PromptTokens+1) != nil {
 		return // no decode blocks: fall back to the serial path at prefill end
 	}
@@ -183,7 +218,9 @@ func (w *windState) maybeStartAsyncTransfer(q *engine.Req) {
 	w.d.asyncXfers++
 	pi := w.d.prefillIdx(q)
 	start := w.r.s.Now()
-	w.d.p2d[pi][dj].Transfer(w.d.kvBytes(q.W.PromptTokens), func() {
+	bytes := w.d.kvBytes(q.W.PromptTokens)
+	w.d.p2d[pi][dj].Transfer(bytes, func() {
+		w.d.observeTransfer(bytes, start)
 		w.cfg.Tracer.Add(fmt.Sprintf("link p%d-d%d", pi, dj), trace.KindKVTransfer, start, w.r.s.Now(),
 			fmt.Sprintf("req%d async %d tokens", q.W.ID, q.W.PromptTokens))
 		ax.xferDone = true
@@ -207,9 +244,26 @@ func (w *windState) maybeFinishAsync(q *engine.Req, ax *asyncXfer) {
 	if !ax.xferDone || !ax.prefillDone {
 		return
 	}
+	if w.async[q.W.ID] != ax {
+		return // superseded: crash recovery already re-routed the request
+	}
 	delete(w.async, q.W.ID)
+	dec := w.d.decodes[ax.decodeIdx]
+	if q.Phase == engine.PhaseAborted {
+		w.d.prefills[w.d.prefillIdx(q)].ReleaseKV(q)
+		w.d.releaseAt(dec, q)
+		return
+	}
+	if dec.Down() || !dec.KV().Has(q.KVID()) {
+		// The destination crashed under the copy (its allocation is gone).
+		// The prefilled KV still exists at the source — keep it and
+		// serial-transfer to a survivor instead of recomputing.
+		delete(w.d.decodeAt, q.W.ID)
+		w.d.serialTransfer(q)
+		return
+	}
 	w.d.prefills[w.d.prefillIdx(q)].ReleaseKV(q)
-	w.d.decodes[ax.decodeIdx].AdmitDecode(q)
+	dec.AdmitDecode(q)
 }
 
 // onDecodeIterEnd runs the Global Scheduler's memory-pressure logic after
@@ -243,6 +297,11 @@ type migration struct {
 	clean int
 	// src decode instance and dst prefill instance.
 	src, dst int
+	// dead invalidates the migration: one of its endpoints crashed or the
+	// request was aborted while a copy was in flight. Every live migration
+	// always has exactly one pending link callback, which checks dead and
+	// (for a paused drain) re-homes the request instead of resuming here.
+	dead bool
 }
 
 // startMigration begins moving a long-context decode job from decode
@@ -262,6 +321,9 @@ func (w *windState) startMigration(q *engine.Req, src int) {
 		}
 	}
 	if clean == 0 {
+		if dst < 0 {
+			return // every prefill instance is down; nowhere to migrate
+		}
 		if w.d.prefills[dst].KV().Allocate(id, q.Ctx()+1) != nil {
 			return // prefill memory too tight; try again on a later trigger
 		}
@@ -290,6 +352,9 @@ func (w *windState) migrationRound(m *migration) {
 	target := m.q.Ctx()
 	start := w.r.s.Now()
 	w.d.d2p[m.src][m.dst].Transfer(w.d.kvBytes(dirty), func() {
+		if m.dead {
+			return // an endpoint crashed mid-round; recovery re-homed q
+		}
 		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
 			fmt.Sprintf("req%d copy %d tokens", m.q.W.ID, dirty))
 		m.clean = target
@@ -310,6 +375,21 @@ func (w *windState) drainMigration(m *migration) {
 	dirty := q.Ctx() - m.clean
 	start := w.r.s.Now()
 	w.d.d2p[m.src][m.dst].Transfer(w.d.kvBytes(dirty), func() {
+		if m.dead {
+			// An endpoint crashed (or q was aborted) while the tail copied.
+			// A paused drain is owned by nobody, so put the request back
+			// where it can decode: its source if that still holds the KV,
+			// else through decode-orphan recovery (backup or re-prefill).
+			if q.Phase == engine.PhaseDraining {
+				if !dec.Down() && dec.KV().Has(q.KVID()) {
+					q.Migrating = false
+					dec.InsertRunning(q)
+				} else {
+					w.recoverDecodeOrphan(q)
+				}
+			}
+			return
+		}
 		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
 			fmt.Sprintf("req%d drain %d tokens", q.W.ID, dirty))
 		delete(w.migrations, q.W.ID)
@@ -337,7 +417,12 @@ func (w *windState) drainMigration(m *migration) {
 // preempted mid-copy, releasing the destination allocation.
 func (w *windState) abortMigrationIfGone(m *migration) bool {
 	q := m.q
-	if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseSwapped || q.Phase == engine.PhaseWaiting {
+	if m.dead {
+		return true
+	}
+	if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted ||
+		q.Phase == engine.PhaseSwapped || q.Phase == engine.PhaseWaiting {
+		m.dead = true
 		delete(w.migrations, q.W.ID)
 		q.Migrating = false
 		pkv := w.d.prefills[m.dst].KV()
@@ -357,6 +442,9 @@ func (w *windState) abortMigrationIfGone(m *migration) bool {
 // prefill side is not: a later migration then only moves the delta.
 func (w *windState) maybeBackup(j int, decodeFreeFrac float64) {
 	pi := w.freestPrefillIdx()
+	if pi < 0 {
+		return // no live prefill instance to hold a backup
+	}
 	if w.d.d2p[j][pi].Busy() {
 		return // keep backups off the critical path of migrations
 	}
@@ -391,8 +479,9 @@ func (w *windState) maybeBackup(j int, decodeFreeFrac float64) {
 		delete(w.backupInFlight, cand.W.ID)
 		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", j, pi), trace.KindKVTransfer, start, w.r.s.Now(),
 			fmt.Sprintf("req%d backup %d tokens", cand.W.ID, snap))
-		if cand.Phase == engine.PhaseDone || !pkv.Has(cand.KVID()) || !pkv.IsBackup(cand.KVID()) {
-			return // finished or promoted while copying
+		if cand.Phase == engine.PhaseDone || cand.Phase == engine.PhaseAborted ||
+			!pkv.Has(cand.KVID()) || !pkv.IsBackup(cand.KVID()) {
+			return // finished, cancelled, or promoted while copying
 		}
 		cand.BackupTokens = snap
 		w.backupAt[cand.W.ID] = pi
@@ -423,6 +512,180 @@ func (w *windState) releaseForeign(q *engine.Req) {
 	}
 	delete(w.async, q.W.ID)
 	delete(w.backupAt, q.W.ID)
+}
+
+// --- Failure recovery (fault injection) --------------------------------
+//
+// The fault model and its invariants are documented in DESIGN.md. The
+// short version: a crash loses an instance's KV and in-flight work;
+// payloads already on a link are "captured" and complete; orphans restore
+// from a KV backup when one survives, and re-prefill from scratch (losing
+// generated-token KV, hence re-decoding) otherwise. All map iteration
+// below walks sorted keys so recovery order — and therefore the whole
+// simulation — is deterministic.
+
+// abort is the runner's onAbort: scrub a terminated request (Phase is
+// already PhaseAborted) from every WindServe structure.
+func (w *windState) abort(q *engine.Req) {
+	if m, ok := w.migrations[q.W.ID]; ok {
+		m.dead = true
+		delete(w.migrations, q.W.ID)
+		q.Migrating = false
+	}
+	delete(w.backupInFlight, q.W.ID)
+	w.d.abort(q)
+	w.releaseForeign(q)
+}
+
+// crashPrefill handles prefill instance i dying: engine orphans plus
+// requests waiting on i's KV for a serial transfer re-enter dispatch;
+// backups held at i evaporate; migrations targeting i die (their victims
+// keep decoding at the source).
+func (w *windState) crashPrefill(i int) {
+	orphans := w.d.prefills[i].Crash()
+	keep := w.d.transferPending[:0]
+	for _, q := range w.d.transferPending {
+		if w.d.prefillAt[q.W.ID] == i {
+			orphans = append(orphans, q)
+		} else {
+			keep = append(keep, q)
+		}
+	}
+	w.d.transferPending = keep
+	for _, id := range sortedIDs(w.backupAt) {
+		if w.backupAt[id] != i {
+			continue
+		}
+		delete(w.backupAt, id)
+		if q, ok := w.r.live[id]; ok {
+			q.BackupTokens = 0
+		}
+	}
+	for _, id := range sortedIDs(w.migrations) {
+		m := w.migrations[id]
+		if m.dst != i {
+			continue
+		}
+		m.dead = true
+		delete(w.migrations, id)
+		m.q.Migrating = false
+	}
+	for _, q := range orphans {
+		if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted {
+			continue
+		}
+		w.rePrefill(q)
+	}
+}
+
+// crashDecode handles decode instance j dying: migrations out of j die
+// (paused drains re-home via their pending callback), async transfers
+// into j fall back to the serial path, and every orphaned request goes
+// through backup-or-scratch recovery.
+func (w *windState) crashDecode(j int) {
+	orphans := w.d.decodes[j].Crash()
+	for _, id := range sortedIDs(w.migrations) {
+		m := w.migrations[id]
+		if m.src != j {
+			continue
+		}
+		m.dead = true
+		delete(w.migrations, id)
+	}
+	for _, id := range sortedIDs(w.async) {
+		ax := w.async[id]
+		if ax.decodeIdx != j {
+			continue
+		}
+		if !ax.prefillDone {
+			// Still prefilling at the source: drop the dead transfer so
+			// prefill completion takes the serial path to a survivor. The
+			// stale link callback no-ops (map-identity check).
+			delete(w.async, id)
+			delete(w.d.decodeAt, id)
+		}
+		// With prefillDone set the request waits only on the copy; its
+		// callback's Down/Has guard re-routes it when it fires.
+	}
+	for _, q := range orphans {
+		if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted {
+			continue
+		}
+		delete(w.d.decodeAt, q.W.ID)
+		w.recoverDecodeOrphan(q)
+	}
+}
+
+// recoverDecodeOrphan re-homes a request whose decode-side KV vanished.
+// If a live prefill instance still holds a proactive backup, the backup
+// promotes to a working copy and decoding resumes there, rolled back to
+// the snapshot (tokens generated after the backup lost their KV with the
+// crash and are re-decoded). Otherwise the request re-prefills from
+// scratch.
+func (w *windState) recoverDecodeOrphan(q *engine.Req) {
+	id := q.W.ID
+	delete(w.async, id)
+	delete(w.backupInFlight, id)
+	delete(w.d.decodeAt, id)
+	if m, ok := w.migrations[id]; ok {
+		m.dead = true
+		delete(w.migrations, id)
+	}
+	q.Migrating = false
+	if bi, ok := w.backupAt[id]; ok && q.BackupTokens > 0 && !w.d.prefills[bi].Down() {
+		pkv := w.d.prefills[bi].KV()
+		if pkv.Has(q.KVID()) && pkv.IsBackup(q.KVID()) && pkv.PromoteBackup(q.KVID()) == nil {
+			delete(w.backupAt, id)
+			// Drop any other allocation the request holds (a dead
+			// migration's target, a stale async copy) — everything but the
+			// promoted backup.
+			for pi, ins := range w.d.prefills {
+				if pi != bi {
+					w.d.releaseAt(ins, q)
+				}
+			}
+			for _, ins := range w.d.decodes {
+				w.d.releaseAt(ins, q)
+			}
+			snap := q.BackupTokens
+			q.BackupTokens = 0
+			if gen := snap - q.W.PromptTokens; gen >= 1 && gen < q.Generated {
+				q.Generated = gen
+			}
+			w.d.prefillAt[id] = bi
+			w.r.markRecovered(q)
+			w.d.prefills[bi].InsertRunning(q)
+			return
+		}
+	}
+	w.rePrefill(q)
+}
+
+// rePrefill is scratch recovery: release everything the request holds
+// anywhere, forget its placement and progress (generated tokens lost
+// their KV with the crash), and send it back through dispatch.
+func (w *windState) rePrefill(q *engine.Req) {
+	w.releaseForeign(q)
+	delete(w.d.prefillAt, q.W.ID)
+	delete(w.d.decodeAt, q.W.ID)
+	delete(w.backupInFlight, q.W.ID)
+	q.PrefillDone = 0
+	q.Generated = 0
+	q.Assist = false
+	q.Migrating = false
+	q.BackupTokens = 0
+	w.r.markRecovered(q)
+	w.submit(q)
+}
+
+// sortedIDs returns a map's keys ascending — deterministic recovery order.
+func sortedIDs[V any](m map[uint64]V) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Ablation helpers so benchmarks read naturally.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"windserve/internal/engine"
+	"windserve/internal/sched"
 	"windserve/internal/workload"
 )
 
@@ -11,13 +12,21 @@ import (
 // workload, for unit-testing the migration state machine's edges.
 func newWindStateForTest(t *testing.T) *windState {
 	t.Helper()
-	r := newRunner(cfg13B(t))
+	r, err := newRunner(cfg13B(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := newPD(r, r.cfg, pdHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sched.Profile(d.prefills[0].CM(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return &windState{
 		r: r, cfg: r.cfg, d: d,
+		coord: &sched.Coordinator{Prof: prof, Thrd: r.cfg.SLO.TTFT},
 		async:          make(map[uint64]*asyncXfer),
 		migrations:     make(map[uint64]*migration),
 		backupInFlight: make(map[uint64]bool),
@@ -130,5 +139,80 @@ func TestStartMigrationUsesBackupDelta(t *testing.T) {
 	// Completion cleanup removes routing entries.
 	if len(w.d.decodeAt) != 0 {
 		t.Error("decode routing table not cleaned")
+	}
+}
+
+// TestMigrationAbortedWhenRequestCompletesMidRound: the request finishes
+// decoding while a copy round is still on the wire. The next round must
+// observe the terminal phase, cancel the migration, and release the
+// destination allocation instead of copying a dead request's KV.
+func TestMigrationAbortedWhenRequestCompletesMidRound(t *testing.T) {
+	w := newWindStateForTest(t)
+	q := engine.NewReq(workload.Request{ID: 11, PromptTokens: 4000, OutputTokens: 200})
+	q.PrefillDone, q.Generated = 4000, 100
+	q.Phase = engine.PhaseDecoding
+	w.startMigration(q, 0) // dirty span ≫ drain threshold → copy round in flight
+	if !q.Migrating {
+		t.Fatal("migration did not start")
+	}
+	pkv := w.d.prefills[w.migrations[q.W.ID].dst].KV()
+	if !pkv.Has(q.KVID()) {
+		t.Fatal("destination not allocated")
+	}
+	// The request completes while the round's transfer is still in flight.
+	q.Phase = engine.PhaseDone
+	w.r.s.RunAll()
+	if q.Migrating {
+		t.Error("Migrating flag survived completion")
+	}
+	if len(w.migrations) != 0 {
+		t.Error("migration entry survived completion")
+	}
+	if pkv.Has(q.KVID()) {
+		t.Error("destination allocation leaked after mid-round completion")
+	}
+}
+
+// TestDrainMigrationRacesDecodeKVEviction: while the bounded tail copies,
+// the decode side reclaims the request's blocks (exhaustion-driven
+// eviction). The drain callback must not double-release, and the request
+// must still resume decoding on the destination.
+func TestDrainMigrationRacesDecodeKVEviction(t *testing.T) {
+	w := newWindStateForTest(t)
+	q := engine.NewReq(workload.Request{ID: 12, PromptTokens: 1000, OutputTokens: 200})
+	q.PrefillDone, q.Generated = 1000, 100
+	q.Phase = engine.PhaseDecoding
+	w.r.rec.Arrive(q.W.ID, q.W.PromptTokens, q.W.OutputTokens, 0)
+	w.r.rec.PrefillStart(q.W.ID, 0)
+	w.r.rec.FirstToken(q.W.ID, 0)
+	// Backup-seeded so the dirty span is below the drain threshold and the
+	// migration goes straight to the drain.
+	q.BackupTokens = 1050
+	w.backupAt[q.W.ID] = 0
+	if err := w.d.prefills[0].KV().AllocateBackup(q.KVID(), 1050); err != nil {
+		t.Fatal(err)
+	}
+	dkv := w.d.decodes[0].KV()
+	if err := dkv.Allocate(q.KVID(), q.Ctx()+1); err != nil {
+		t.Fatal(err)
+	}
+	w.d.decodes[0].InsertRunning(q)
+	w.startMigration(q, 0)
+	if q.Phase != engine.PhaseDraining {
+		t.Fatalf("phase %v, want immediate drain", q.Phase)
+	}
+	// Decode-side blocks vanish while the tail is on the wire.
+	if err := dkv.Release(q.KVID()); err != nil {
+		t.Fatal(err)
+	}
+	w.r.s.RunAll()
+	if q.Migrating || len(w.migrations) != 0 {
+		t.Error("migration never resolved")
+	}
+	if !q.Finished() {
+		t.Errorf("request did not resume on the destination: %v", q)
+	}
+	if w.d.prefills[0].KV().Has(q.KVID()) || dkv.Has(q.KVID()) {
+		t.Error("KV leaked after drain raced eviction")
 	}
 }

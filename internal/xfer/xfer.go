@@ -25,6 +25,9 @@ type Link struct {
 	res  *sim.FIFOResource
 	spec gpu.LinkSpec
 	eff  float64
+	// degrade scales effective bandwidth below nominal (fault injection);
+	// 0 and 1 both mean healthy.
+	degrade float64
 
 	// BytesMoved accumulates total payload for utilization reporting.
 	BytesMoved float64
@@ -41,13 +44,34 @@ func NewLink(s *sim.Simulator, name string, spec gpu.LinkSpec, efficiency float6
 // Spec returns the underlying hardware path.
 func (l *Link) Spec() gpu.LinkSpec { return l.spec }
 
+// SetDegradation scales the link to frac of nominal bandwidth (fault
+// injection: congestion, a failing NIC). frac of 1 restores full speed;
+// values outside (0,1] are clamped to healthy. Transfers already in
+// flight keep their original durations — only new submissions see the
+// changed rate.
+func (l *Link) SetDegradation(frac float64) {
+	if frac <= 0 || frac >= 1 {
+		frac = 1
+	}
+	l.degrade = frac
+}
+
+// Degradation returns the current bandwidth fraction (1 when healthy).
+func (l *Link) Degradation() float64 {
+	if l.degrade <= 0 || l.degrade > 1 {
+		return 1
+	}
+	return l.degrade
+}
+
 // TransferTime returns the service time for a payload of the given size,
 // excluding queuing.
 func (l *Link) TransferTime(bytes float64) sim.Duration {
 	if bytes < 0 {
 		panic("xfer: negative transfer size")
 	}
-	return sim.Seconds(bytes/(l.spec.BytesPerSecond()*l.eff)) + sim.Microseconds(l.spec.LatencyUS)
+	bw := l.spec.BytesPerSecond() * l.eff * l.Degradation()
+	return sim.Seconds(bytes/bw) + sim.Microseconds(l.spec.LatencyUS)
 }
 
 // Transfer enqueues a copy; done fires when the payload has fully crossed
