@@ -19,16 +19,19 @@ import (
 
 	"windserve/internal/bench"
 	"windserve/internal/fault"
+	"windserve/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 600, "requests per simulation run")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
-	faults := flag.String("faults", "", `fault plan for ext-faults, e.g. "crash:d0@60; degrade@90x0.5+30"`)
+	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
+	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
+	decisionsPath := flag.String("decisions", "", "write the traced capture's scheduler decision log here as JSONL")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *tracePath == "" && *decisionsPath == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -118,12 +121,54 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *tracePath != "" || *decisionsPath != "" {
+		fmt.Println("==== trace-capture ====")
+		art, err := bench.ExpTraceCapture(o, os.Stdout, plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: trace capture: %v\n", err)
+			os.Exit(1)
+		}
+		if *tracePath != "" {
+			if err := writeFile(*tracePath, func(f *os.File) error {
+				return obs.WriteChromeTrace(f, art.Tracer, art.AllRecords())
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "windbench: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
+		}
+		if *decisionsPath != "" {
+			if err := writeFile(*decisionsPath, func(f *os.File) error {
+				return art.Decisions.WriteJSONL(f)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "windbench: -decisions: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d scheduler decisions to %s\n", art.Decisions.Len(), *decisionsPath)
+		}
+	}
+}
+
+// writeFile creates path, streams through write, and surfaces close errors
+// (a full disk shows up at Close, not Write).
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `windbench regenerates the WindServe paper's tables and figures.
 
 usage: windbench [-n requests] [-seed N] exhibit [exhibit ...]
+       windbench -trace out.json [-decisions out.jsonl] [-faults PLAN]
 
 exhibits:
   table1  per-layer FLOPs/IO accounting

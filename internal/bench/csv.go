@@ -17,7 +17,7 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		"tpot_p50_ms", "tpot_p90_ms", "tpot_p99_ms",
 		"slo_attainment", "ttft_attainment", "tpot_attainment",
 		"throughput_rps", "goodput_rps", "decode_queue_p99_ms",
-		"aborted", "rejected", "recovered",
+		"aborted", "rejected", "recovered", "completed",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -25,9 +25,10 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 	f := func(v float64) string { return fmt.Sprintf("%.4f", v) }
 	for _, r := range rows {
 		s := r.Summary
-		var aborted, rejected, recovered int
+		var aborted, rejected, recovered, completed int
 		if r.Result != nil {
 			aborted, rejected, recovered = r.Result.Aborted, r.Result.Rejected, r.Result.Recovered
+			completed = len(r.Result.Records)
 		}
 		rec := []string{
 			r.Model, r.Dataset, f(r.Rate), r.System,
@@ -36,6 +37,7 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 			f(s.Attainment), f(s.TTFTAttainment), f(s.TPOTAttainment),
 			f(s.ThroughputRPS), f(s.GoodputRPS), f(s.DecodeQueueP99.Milliseconds()),
 			fmt.Sprint(aborted), fmt.Sprint(rejected), fmt.Sprint(recovered),
+			fmt.Sprint(completed),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -597,9 +597,11 @@ func ExpFig12(o Options, w io.Writer) ([]Fig12Row, error) {
 			gpus := float64(cfg.TotalGPUs())
 			g := workload.NewGenerator(workload.ShareGPT(), workload.PoissonArrivals{Rate: rate * gpus}, o.Seed)
 			reqs := g.Generate(o.Requests)
-			for name, run := range map[string]func(serve.Config, []workload.Request) (*serve.Result, error){
-				"DistServe": serve.RunDistServe, "WindServe": serve.RunWindServe,
-			} {
+			for _, sys := range []struct {
+				name string
+				run  func(serve.Config, []workload.Request) (*serve.Result, error)
+			}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
+				name, run := sys.name, sys.run
 				res, err := run(cfg, reqs)
 				if err != nil {
 					return nil, fmt.Errorf("bench: fig12 %s %s: %w", pl.name, name, err)

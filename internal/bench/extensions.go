@@ -396,9 +396,11 @@ func ExpScale(o Options, w io.Writer) ([]ScaleRow, error) {
 			g := workload.NewGenerator(workload.ShareGPT(),
 				workload.PoissonArrivals{Rate: rate * float64(cfg.TotalGPUs())}, o.Seed)
 			reqs := g.Generate(o.Requests)
-			for name, run := range map[string]func(serve.Config, []workload.Request) (*serve.Result, error){
-				"DistServe": serve.RunDistServe, "WindServe": serve.RunWindServe,
-			} {
+			for _, sys := range []struct {
+				name string
+				run  func(serve.Config, []workload.Request) (*serve.Result, error)
+			}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
+				name, run := sys.name, sys.run
 				res, err := run(cfg, reqs)
 				if err != nil {
 					return nil, fmt.Errorf("bench: scale %s %s: %w", dep.name, name, err)
@@ -492,9 +494,11 @@ func ExpBurst(o Options, w io.Writer) ([]BurstRow, error) {
 	} {
 		g := workload.NewGenerator(workload.ShareGPT(), proc, o.Seed)
 		reqs := g.Generate(o.Requests)
-		for name, run := range map[string]func(serve.Config, []workload.Request) (*serve.Result, error){
-			"DistServe": serve.RunDistServe, "WindServe": serve.RunWindServe,
-		} {
+		for _, sys := range []struct {
+			name string
+			run  func(serve.Config, []workload.Request) (*serve.Result, error)
+		}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
+			name, run := sys.name, sys.run
 			res, err := run(cfg, reqs)
 			if err != nil {
 				return nil, fmt.Errorf("bench: burst %s: %w", name, err)

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"windserve/internal/metrics"
+	"windserve/internal/obs"
+)
+
+// captureOnce runs the traced capture at a small, fixed scale. Shared by
+// the acceptance tests below so the simulation runs once.
+var captured *TraceArtifacts
+
+func capture(t *testing.T) *TraceArtifacts {
+	t.Helper()
+	if captured != nil {
+		return captured
+	}
+	art, err := ExpTraceCapture(Options{Requests: 120, Seed: 42}, io.Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured = art
+	return art
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func exportChrome(t *testing.T, art *TraceArtifacts) []chromeEvent {
+	t.Helper()
+	var b bytes.Buffer
+	if err := obs.WriteChromeTrace(&b, art.Tracer, art.AllRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &f); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	return f.TraceEvents
+}
+
+// TestTraceCaptureChromeExport is the -trace acceptance criterion: the
+// emitted JSON parses, carries at least one named track per instance,
+// and every completed request's phase spans tile arrival→completion.
+func TestTraceCaptureChromeExport(t *testing.T) {
+	art := capture(t)
+	events := exportChrome(t, art)
+
+	// Track names, by pid.
+	threads := map[int]map[int]string{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if threads[e.Pid] == nil {
+				threads[e.Pid] = map[int]string{}
+			}
+			threads[e.Pid][e.Tid], _ = e.Args["name"].(string)
+		}
+	}
+	instNames := map[string]bool{}
+	for _, n := range threads[1] {
+		instNames[n] = true
+	}
+	for _, want := range []string{"prefill-0", "decode-0"} {
+		if !instNames[want] {
+			t.Errorf("no instance track named %q (got %v)", want, instNames)
+		}
+	}
+
+	// Request tracks are assigned tids in ID order; map each completed
+	// record to its tid and check its spans tile without gaps.
+	recs := art.AllRecords()
+	sorted := append([]*metrics.Record(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	spansByTid := map[int][]chromeEvent{}
+	for _, e := range events {
+		// Zero-length phases export as thread instants; they still count
+		// toward the tiling. Outcome markers (aborted/rejected) do not.
+		phase := e.Ph == "X" || (e.Ph == "i" && e.Args["req"] != nil)
+		if e.Pid == 2 && phase {
+			spansByTid[e.Tid] = append(spansByTid[e.Tid], e)
+		}
+	}
+	if len(art.Result.Records) == 0 {
+		t.Fatal("capture completed no requests")
+	}
+	for i, r := range sorted {
+		if r.Outcome != metrics.OutcomeCompleted {
+			continue
+		}
+		tid := i + 1
+		spans := spansByTid[tid]
+		if len(spans) == 0 {
+			t.Fatalf("completed req %d (tid %d) has no spans", r.ID, tid)
+		}
+		sort.Slice(spans, func(a, b int) bool { return spans[a].Ts < spans[b].Ts })
+		const usTol = 1e-3
+		if got, want := spans[0].Ts, float64(r.Arrival)*1e6; got-want > usTol || want-got > usTol {
+			t.Errorf("req %d: first span starts %v µs, want arrival %v", r.ID, got, want)
+		}
+		end := spans[0].Ts
+		for _, s := range spans {
+			if s.Ts-end > usTol {
+				t.Errorf("req %d: gap before %q at %v µs (prev end %v)", r.ID, s.Name, s.Ts, end)
+			}
+			if s.Ts+s.Dur > end {
+				end = s.Ts + s.Dur
+			}
+		}
+		if want := float64(r.Completion) * 1e6; end-want > usTol || want-end > usTol {
+			t.Errorf("req %d: spans end at %v µs, want completion %v", r.ID, end, want)
+		}
+	}
+}
+
+// TestTraceCaptureDecisionLog is the -decisions acceptance criterion:
+// one dispatch entry per Coordinator decision, each carrying the full
+// candidate set with per-candidate predicted TTFT, and the JSONL export
+// parses line by line.
+func TestTraceCaptureDecisionLog(t *testing.T) {
+	art := capture(t)
+	dl := art.Decisions
+	if len(dl.Dispatches) == 0 {
+		t.Fatal("no dispatch decisions recorded")
+	}
+	toDecode := 0
+	for _, d := range dl.Dispatches {
+		if len(d.Candidates) < 2 {
+			t.Fatalf("req %d: %d candidates, want prefill and decode", d.ReqID, len(d.Candidates))
+		}
+		for _, c := range d.Candidates {
+			if c.PredictedTTFT != c.ComputeTTFT+c.TransferTTFT {
+				t.Fatalf("req %d %s: TTFT terms do not sum", d.ReqID, c.Instance)
+			}
+		}
+		if d.ToDecode {
+			toDecode++
+		}
+	}
+	if toDecode != art.Result.Dispatched {
+		t.Errorf("log shows %d decode dispatches, Result says %d", toDecode, art.Result.Dispatched)
+	}
+
+	var b bytes.Buffer
+	if err := dl.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&b)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var obj struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		switch obj.Type {
+		case "dispatch", "reschedule", "route":
+		default:
+			t.Fatalf("unknown decision type %q", obj.Type)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != dl.Len() {
+		t.Errorf("JSONL lines = %d, log Len() = %d", lines, dl.Len())
+	}
+}
+
+// TestTraceCaptureSummaryOutput checks the human-readable capture summary
+// names the collectors' totals.
+func TestTraceCaptureSummaryOutput(t *testing.T) {
+	var b strings.Builder
+	if _, err := ExpTraceCapture(Options{Requests: 40, Seed: 7}, &b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, col := range []string{"spans", "dispatch", "reschedule", "route"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("summary missing %q column:\n%s", col, out)
+		}
+	}
+}

@@ -693,6 +693,24 @@ func (ins *Instance) apply(plan passPlan) {
 		}
 		ins.growOrPreempt(r)
 	}
+	ins.sampleCounters()
+}
+
+// sampleCounters records the instance's occupancy timeseries at pass
+// boundaries — the only instants the values change. The exporter turns
+// these into Perfetto counter tracks; sampling on simulator events (not a
+// wall-clock ticker) keeps overhead zero when tracing is off and exact
+// when it is on.
+func (ins *Instance) sampleCounters() {
+	t := ins.cfg.Tracer
+	if t == nil {
+		return
+	}
+	now := ins.sim.Now()
+	name := ins.cfg.Name
+	t.Counter(name+"/running", now, float64(len(ins.running)))
+	t.Counter(name+"/queued", now, float64(len(ins.prefillQ)+len(ins.assistQ)+len(ins.admitQ)))
+	t.Counter(name+"/kv_util", now, ins.cfg.KV.Utilization())
 }
 
 // finishPrefill handles full-prompt completion: the first output token

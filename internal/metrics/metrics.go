@@ -10,7 +10,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 
 	"windserve/internal/sim"
@@ -52,7 +51,12 @@ func (o Outcome) String() string {
 type Record struct {
 	ID           uint64
 	PromptTokens int
+	// OutputTokens is the planned output length; Emitted counts tokens
+	// actually produced by the time the record finalized. For completed
+	// requests they agree; an aborted request stops short, and its TPOT
+	// must average over the gaps that actually happened, not the plan.
 	OutputTokens int
+	Emitted      int
 	Outcome      Outcome
 
 	Arrival      sim.Time
@@ -67,13 +71,27 @@ type Record struct {
 // TTFT is the time-to-first-token including queuing delay.
 func (r *Record) TTFT() sim.Duration { return r.FirstToken.Sub(r.Arrival) }
 
-// TPOT is the mean time per output token excluding the first. Requests
-// with a single output token have no inter-token gaps; their TPOT is 0.
+// tokensOut is the token count TPOT averages over: tokens actually
+// emitted once the record is finalized, the planned output length for
+// hand-built or still-open records (where Emitted was never set).
+func (r *Record) tokensOut() int {
+	if r.done || r.Emitted > 0 {
+		return r.Emitted
+	}
+	return r.OutputTokens
+}
+
+// TPOT is the mean time per emitted token excluding the first. Requests
+// that produced at most one token have no inter-token gaps; their TPOT
+// is 0. Aborted requests average over the tokens they actually emitted —
+// dividing their truncated decode span by the planned OutputTokens would
+// deflate TPOT percentiles and SLO attainment under fault plans.
 func (r *Record) TPOT() sim.Duration {
-	if r.OutputTokens <= 1 {
+	n := r.tokensOut()
+	if n <= 1 {
 		return 0
 	}
-	return sim.Duration(r.Completion.Sub(r.FirstToken).Seconds() / float64(r.OutputTokens-1))
+	return sim.Duration(r.Completion.Sub(r.FirstToken).Seconds() / float64(n-1))
 }
 
 // E2E is the total latency from arrival to completion.
@@ -83,9 +101,11 @@ func (r *Record) E2E() sim.Duration { return r.Completion.Sub(r.Arrival) }
 func (r *Record) PrefillQueueDelay() sim.Duration { return r.PrefillStart.Sub(r.Arrival) }
 
 // DecodeQueueDelay is the time between first token and the first decode
-// step (KV transfer + decode queue for disaggregated systems).
+// step (KV transfer + decode queue for disaggregated systems). Zero for
+// requests that never reached decode (single-token outputs, aborts
+// during the handoff).
 func (r *Record) DecodeQueueDelay() sim.Duration {
-	if r.OutputTokens <= 1 {
+	if r.tokensOut() <= 1 || r.DecodeStart == 0 {
 		return 0
 	}
 	return r.DecodeStart.Sub(r.FirstToken)
@@ -155,17 +175,27 @@ func (rec *Recorder) DecodeStart(id uint64, at sim.Time) {
 func (rec *Recorder) Complete(id uint64, at sim.Time) {
 	r := rec.get(id)
 	r.Completion = at
+	r.Emitted = r.OutputTokens
 	r.done = true
 	rec.completed = append(rec.completed, r)
 	delete(rec.open, id)
 }
 
 // Abort finalizes an in-flight request as aborted (deadline miss or
-// client cancellation). Its record leaves the open set so it no longer
-// counts as outstanding, and it never joins the completed list.
-func (rec *Recorder) Abort(id uint64, at sim.Time) {
+// client cancellation), recording how many output tokens it actually
+// produced so TPOT averages over real gaps. Its record leaves the open
+// set so it no longer counts as outstanding, and it never joins the
+// completed list.
+func (rec *Recorder) Abort(id uint64, at sim.Time, emitted int) {
 	r := rec.get(id)
 	r.Completion = at
+	if emitted < 0 {
+		emitted = 0
+	}
+	if emitted > r.OutputTokens {
+		emitted = r.OutputTokens
+	}
+	r.Emitted = emitted
 	r.Outcome = OutcomeAborted
 	r.done = true
 	rec.aborted = append(rec.aborted, r)
@@ -316,10 +346,12 @@ func Summarize(records []*Record, slo SLO) Summary {
 	return s
 }
 
-// pct interpolates a percentile on pre-sorted data.
+// pct interpolates a percentile on pre-sorted data. An empty class is 0,
+// not NaN — NaN poisons downstream CSV parsing and comparisons the first
+// time a fault plan empties a class (e.g. zero aborted requests).
 func pct(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		return math.NaN()
+		return 0
 	}
 	if p <= 0 {
 		return sorted[0]
@@ -344,6 +376,7 @@ func WriteRecordsCSV(w io.Writer, records []*Record) error {
 		"id", "prompt_tokens", "output_tokens",
 		"arrival_s", "prefill_start_s", "first_token_s", "decode_start_s", "completion_s",
 		"ttft_ms", "tpot_ms", "e2e_ms", "prefill_queue_ms", "decode_queue_ms",
+		"outcome", "emitted_tokens",
 	}); err != nil {
 		return err
 	}
@@ -362,6 +395,8 @@ func WriteRecordsCSV(w io.Writer, records []*Record) error {
 			fmt.Sprintf("%.4f", r.E2E().Milliseconds()),
 			fmt.Sprintf("%.4f", r.PrefillQueueDelay().Milliseconds()),
 			fmt.Sprintf("%.4f", r.DecodeQueueDelay().Milliseconds()),
+			r.Outcome.String(),
+			fmt.Sprintf("%d", r.tokensOut()),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -1,0 +1,197 @@
+// Package obs exports a run's observability artifacts in externally
+// consumable formats. The main export is a Chrome-trace/Perfetto JSON
+// timeline combining two views of the same run:
+//
+//   - instance tracks (pid 1): the Tracer's execution spans — one thread
+//     per lane (engine streams, links, the scheduler) — plus counter
+//     tracks for occupancy timeseries (running batch, queue depth, KV
+//     utilization) sampled at pass boundaries;
+//   - request tracks (pid 2): one thread per request, with its lifecycle
+//     phases (queue → prefill → handoff → decode) derived from the
+//     metrics records at export time, so the hot path records nothing
+//     extra.
+//
+// Open the output at https://ui.perfetto.dev or chrome://tracing.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+	"windserve/internal/trace"
+)
+
+// Chrome-trace process ids: instance timelines vs request timelines.
+const (
+	pidInstances = 1
+	pidRequests  = 2
+)
+
+// event is one Chrome-trace event. ts and dur are microseconds of virtual
+// time (the format's unit).
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+func us(t sim.Time) float64 { return float64(t) * 1e6 }
+
+func meta(name string, pid, tid int, value string) event {
+	return event{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+}
+
+// WriteChromeTrace renders a run as Chrome-trace JSON: the Tracer's
+// instance spans and counters, and one lifecycle track per request in
+// records. Either input may be nil/empty; the output is always a valid
+// trace file.
+func WriteChromeTrace(w io.Writer, t *trace.Tracer, records []*metrics.Record) error {
+	var evs []event
+	evs = append(evs,
+		meta("process_name", pidInstances, 0, "instances"),
+		meta("process_name", pidRequests, 0, "requests"),
+	)
+
+	// Instance tracks: one thread per Tracer lane, in first-appearance
+	// order so tids are deterministic.
+	laneTid := make(map[string]int)
+	for i, lane := range t.Lanes() {
+		laneTid[lane] = i + 1
+		evs = append(evs, meta("thread_name", pidInstances, i+1, lane))
+	}
+	if t != nil {
+		for _, s := range t.Spans {
+			e := event{
+				Name: string(s.Kind),
+				Cat:  "instance",
+				Ts:   us(s.Start),
+				Pid:  pidInstances,
+				Tid:  laneTid[s.Lane],
+			}
+			if s.Detail != "" {
+				e.Args = map[string]any{"detail": s.Detail}
+			}
+			if d := us(s.End) - us(s.Start); d > 0 {
+				e.Ph, e.Dur = "X", d
+			} else {
+				e.Ph, e.S = "i", "t" // zero-length activity → thread instant
+			}
+			evs = append(evs, e)
+		}
+		for _, c := range t.Counters {
+			evs = append(evs, event{
+				Name: c.Track, Ph: "C", Ts: us(c.T), Pid: pidInstances,
+				Args: map[string]any{"value": c.V},
+			})
+		}
+	}
+
+	// Request tracks: phases reconstructed from the metrics timeline.
+	recs := append([]*metrics.Record(nil), records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	for i, r := range recs {
+		tid := i + 1
+		evs = append(evs, meta("thread_name", pidRequests, tid, reqLabel(r)))
+		for _, p := range requestPhases(r) {
+			e := event{
+				Name: string(p.kind),
+				Cat:  "request",
+				Ts:   us(p.start),
+				Pid:  pidRequests,
+				Tid:  tid,
+				Args: map[string]any{
+					"req":           r.ID,
+					"prompt_tokens": r.PromptTokens,
+					"output_tokens": r.OutputTokens,
+				},
+			}
+			if d := us(p.end) - us(p.start); d > 0 {
+				e.Ph, e.Dur = "X", d
+			} else {
+				e.Ph, e.S = "i", "t"
+			}
+			evs = append(evs, e)
+		}
+		if r.Outcome != metrics.OutcomeCompleted {
+			evs = append(evs, event{
+				Name: r.Outcome.String(), Ph: "i", Cat: "request",
+				Ts: us(r.Completion), Pid: pidRequests, Tid: tid, S: "t",
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+func reqLabel(r *metrics.Record) string {
+	return "req " + itoa(r.ID)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+type reqPhase struct {
+	kind  trace.Kind
+	start sim.Time
+	end   sim.Time
+}
+
+// requestPhases splits a record's timeline into lifecycle phases, using
+// only the timestamps the request actually reached — an abort mid-queue
+// yields one truncated queue span, an abort mid-decode a truncated decode
+// span, and a single-token completion has no handoff or decode at all.
+func requestPhases(r *metrics.Record) []reqPhase {
+	var out []reqPhase
+	add := func(k trace.Kind, a, b sim.Time) {
+		if b < a {
+			b = a
+		}
+		out = append(out, reqPhase{k, a, b})
+	}
+	switch {
+	case r.PrefillStart == 0:
+		// Never reached prefill: rejected at admission or aborted queued.
+		add(trace.KindQueue, r.Arrival, r.Completion)
+	case r.FirstToken == 0:
+		add(trace.KindQueue, r.Arrival, r.PrefillStart)
+		add(trace.KindPrefill, r.PrefillStart, r.Completion)
+	default:
+		add(trace.KindQueue, r.Arrival, r.PrefillStart)
+		add(trace.KindPrefill, r.PrefillStart, r.FirstToken)
+		if r.DecodeStart != 0 {
+			add(trace.KindHandoff, r.FirstToken, r.DecodeStart)
+			add(trace.KindDecode, r.DecodeStart, r.Completion)
+		} else if r.Completion > r.FirstToken {
+			// Finalized between first token and decode start (e.g. aborted
+			// during the KV transfer).
+			add(trace.KindHandoff, r.FirstToken, r.Completion)
+		}
+	}
+	return out
+}

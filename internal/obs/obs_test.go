@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+	"windserve/internal/trace"
+)
+
+// parse round-trips the writer's output through encoding/json, failing the
+// test on anything malformed.
+func parse(t *testing.T, buf *bytes.Buffer) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+func events(t *testing.T, doc map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("traceEvents missing or not an array: %T", doc["traceEvents"])
+	}
+	out := make([]map[string]any, len(raw))
+	for i, e := range raw {
+		out[i] = e.(map[string]any)
+	}
+	return out
+}
+
+func TestWriteChromeTraceEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc := parse(t, &buf)
+	if doc["displayTimeUnit"] != "ms" {
+		t.Errorf("displayTimeUnit = %v, want ms", doc["displayTimeUnit"])
+	}
+	// Still a valid file: the two process_name metadata events.
+	if got := len(events(t, doc)); got != 2 {
+		t.Errorf("empty trace has %d events, want 2 metadata events", got)
+	}
+}
+
+func TestWriteChromeTraceInstanceTracks(t *testing.T) {
+	tr := trace.New()
+	tr.Add("prefill-0", trace.KindPrefill, sim.Time(1), sim.Time(2), "req1")
+	tr.Add("decode-0", trace.KindDecode, sim.Time(2), sim.Time(2.5), "")
+	tr.Add("scheduler", trace.KindDispatch, sim.Time(1), sim.Time(1), "req1→decode-0")
+	tr.Counter("decode-0/running", sim.Time(2), 3)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	evs := events(t, parse(t, &buf))
+
+	threadNames := map[string]bool{}
+	var sawCounter, sawInstant bool
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				threadNames[e["args"].(map[string]any)["name"].(string)] = true
+			}
+		case "X":
+			if e["dur"].(float64) <= 0 {
+				t.Errorf("complete event %q has non-positive dur %v", e["name"], e["dur"])
+			}
+		case "C":
+			sawCounter = true
+			if e["name"] != "decode-0/running" {
+				t.Errorf("counter name = %v", e["name"])
+			}
+			if v := e["args"].(map[string]any)["value"].(float64); v != 3 {
+				t.Errorf("counter value = %v, want 3", v)
+			}
+		case "i":
+			sawInstant = true
+		}
+	}
+	for _, lane := range []string{"prefill-0", "decode-0", "scheduler"} {
+		if !threadNames[lane] {
+			t.Errorf("no thread_name metadata for lane %q", lane)
+		}
+	}
+	if !sawCounter {
+		t.Error("counter sample not exported")
+	}
+	if !sawInstant {
+		t.Error("zero-length dispatch span should export as an instant")
+	}
+
+	// Each lane maps to a distinct tid.
+	tids := map[float64]string{}
+	for _, e := range evs {
+		if e["ph"] == "M" && e["name"] == "thread_name" && e["pid"].(float64) == 1 {
+			tid := e["tid"].(float64)
+			name := e["args"].(map[string]any)["name"].(string)
+			if prev, dup := tids[tid]; dup {
+				t.Errorf("tid %v used by both %q and %q", tid, prev, name)
+			}
+			tids[tid] = name
+		}
+	}
+}
+
+func TestWriteChromeTraceRequestPhases(t *testing.T) {
+	recs := []*metrics.Record{
+		{ // full lifecycle
+			ID: 1, PromptTokens: 100, OutputTokens: 50,
+			Arrival: sim.Time(0), PrefillStart: sim.Time(0.1),
+			FirstToken: sim.Time(0.3), DecodeStart: sim.Time(0.4),
+			Completion: sim.Time(2),
+		},
+		{ // aborted mid-decode
+			ID: 2, PromptTokens: 100, OutputTokens: 50, Outcome: metrics.OutcomeAborted,
+			Arrival: sim.Time(1), PrefillStart: sim.Time(1.1),
+			FirstToken: sim.Time(1.3), DecodeStart: sim.Time(1.4),
+			Completion: sim.Time(1.8),
+		},
+		{ // rejected at admission: only a zero-length queue instant
+			ID: 3, PromptTokens: 10, OutputTokens: 5, Outcome: metrics.OutcomeRejected,
+			Arrival: sim.Time(2), Completion: sim.Time(2),
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, recs); err != nil {
+		t.Fatal(err)
+	}
+	evs := events(t, parse(t, &buf))
+
+	phasesByTid := map[float64][]string{}
+	for _, e := range evs {
+		if e["pid"].(float64) != 2 || e["cat"] != "request" {
+			continue
+		}
+		tid := e["tid"].(float64)
+		phasesByTid[tid] = append(phasesByTid[tid], e["name"].(string))
+	}
+	want := map[float64][]string{
+		1: {"queue", "prefill", "handoff", "decode"},
+		2: {"queue", "prefill", "handoff", "decode", "aborted"},
+		3: {"queue", "rejected"},
+	}
+	for tid, names := range want {
+		got := phasesByTid[tid]
+		if len(got) != len(names) {
+			t.Errorf("tid %v phases = %v, want %v", tid, got, names)
+			continue
+		}
+		for i := range names {
+			if got[i] != names[i] {
+				t.Errorf("tid %v phase %d = %q, want %q", tid, i, got[i], names[i])
+			}
+		}
+	}
+
+	// Completed request: phases tile arrival → completion with no gaps.
+	var spans []map[string]any
+	for _, e := range evs {
+		if e["pid"].(float64) == 2 && e["tid"].(float64) == 1 && e["ph"] == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("completed request has %d complete spans, want 4", len(spans))
+	}
+	cursor := 0.0
+	for _, s := range spans {
+		if ts := s["ts"].(float64); ts != cursor {
+			t.Errorf("span %q starts at %v µs, want %v (gap)", s["name"], ts, cursor)
+		}
+		cursor = s["ts"].(float64) + s["dur"].(float64)
+	}
+	if cursor != 2e6 {
+		t.Errorf("phases end at %v µs, want 2e6 (completion)", cursor)
+	}
+}

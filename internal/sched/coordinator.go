@@ -51,8 +51,13 @@ type DispatchDecision struct {
 	// ToDecode dispatches the prefill to the decode instance.
 	ToDecode bool
 	// PredictedTTFT is the Profiler's estimate if served by the prefill
-	// instance (lines 1 of Algorithm 1).
+	// instance (lines 1 of Algorithm 1): ComputeTTFT + TransferTTFT.
 	PredictedTTFT sim.Duration
+	// ComputeTTFT is the queue+compute term (eq. 1 over the waiting tokens
+	// plus the busy remainder); TransferTTFT the post-prefill KV copy at
+	// the observed link rate. Split out for the decision log.
+	ComputeTTFT  sim.Duration
+	TransferTTFT sim.Duration
 	// Slots is the assist capacity that was available (tokens).
 	Slots int
 }
@@ -61,8 +66,9 @@ type DispatchDecision struct {
 // instance; if it exceeds the threshold and the decode instance has
 // enough slots (budget and KV), dispatch there.
 func (c *Coordinator) DecideDispatch(in DispatchInput) DispatchDecision {
-	pred := c.Prof.PredictPrefill(in.QueuedPrefillTokens+in.NewPromptTokens) + in.PrefillBusyRemaining +
-		c.Prof.PredictTransfer(in.TransferBytes)
+	compute := c.Prof.PredictPrefill(in.QueuedPrefillTokens+in.NewPromptTokens) + in.PrefillBusyRemaining
+	transfer := c.Prof.PredictTransfer(in.TransferBytes)
+	pred := compute + transfer
 
 	slots := c.BudgetTokens - in.AssistInFlightTokens
 	if kvRoom := in.DecodeFreeKVTokens - c.KVSafetyTokens; kvRoom < slots {
@@ -71,7 +77,7 @@ func (c *Coordinator) DecideDispatch(in DispatchInput) DispatchDecision {
 	if slots < 0 {
 		slots = 0
 	}
-	d := DispatchDecision{PredictedTTFT: pred, Slots: slots}
+	d := DispatchDecision{PredictedTTFT: pred, ComputeTTFT: compute, TransferTTFT: transfer, Slots: slots}
 	if pred > c.Thrd && slots >= in.NewPromptTokens {
 		d.ToDecode = true
 	}

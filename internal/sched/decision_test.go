@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"windserve/internal/sim"
+)
+
+func TestDecisionLogWriteJSONL(t *testing.T) {
+	l := NewDecisionLog()
+	l.AddRoute(3, 9, "prefill-1", "round-robin")
+	l.AddDispatch(&DispatchRecord{
+		Time: 1, ReqID: 7, PromptTokens: 512,
+		Candidates: []DispatchCandidate{
+			{Instance: "prefill-0", QueuedTokens: 100, ComputeTTFT: 0.2, TransferTTFT: 0.05, PredictedTTFT: 0.25},
+			{Instance: "decode-0", ComputeTTFT: 0.3, PredictedTTFT: 0.3},
+		},
+		Threshold: 0.4, BudgetTokens: 4096, Target: "prefill-0",
+	})
+	m := l.AddReschedule(&RescheduleRecord{
+		Time: 2, ReqID: 7, Trigger: "low-watermark", FreeFrac: 0.05,
+		Src: "decode-0", Dst: "prefill-1", CtxTokens: 900,
+	})
+	m.Rounds = append(m.Rounds, CopyRound{Kind: "copy", Start: 2, End: 2.4, Tokens: 800})
+	m.Outcome = "migrated"
+
+	if l.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", l.Len())
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	var times []float64
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		types = append(types, obj["type"].(string))
+		times = append(times, obj["t_s"].(float64))
+	}
+	// Merged into virtual-time order, regardless of insertion order.
+	if want := []string{"dispatch", "reschedule", "route"}; len(types) != 3 ||
+		types[0] != want[0] || types[1] != want[1] || types[2] != want[2] {
+		t.Fatalf("types = %v, want %v", types, want)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("lines out of time order: %v", times)
+		}
+	}
+	// The dispatch line keeps the per-candidate TTFT split.
+	var d struct {
+		Candidates []struct {
+			Instance  string  `json:"instance"`
+			Compute   float64 `json:"compute_ttft_s"`
+			Transfer  float64 `json:"transfer_ttft_s"`
+			Predicted float64 `json:"predicted_ttft_s"`
+		} `json:"candidates"`
+	}
+	first, _, _ := strings.Cut(b.String(), "\n")
+	if err := json.Unmarshal([]byte(first), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(d.Candidates))
+	}
+	for _, c := range d.Candidates {
+		if math.Abs(c.Predicted-(c.Compute+c.Transfer)) > 1e-12 {
+			t.Errorf("%s: predicted %v != compute %v + transfer %v", c.Instance, c.Predicted, c.Compute, c.Transfer)
+		}
+	}
+}
+
+func TestDecisionLogNilSafe(t *testing.T) {
+	var l *DecisionLog
+	l.AddDispatch(&DispatchRecord{ReqID: 1})
+	l.AddRoute(0, 1, "prefill-0", "round-robin")
+	if r := l.AddReschedule(&RescheduleRecord{ReqID: 1}); r != nil {
+		t.Error("nil log returned a live reschedule record")
+	}
+	if l.Len() != 0 {
+		t.Errorf("nil log Len() = %d", l.Len())
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil log wrote %q", b.String())
+	}
+}
+
+func TestWarmStartTransfer(t *testing.T) {
+	p := &Profiler{}
+	if p.PredictTransfer(1e9) != 0 {
+		t.Fatal("cold profiler should predict 0 (unknown link)")
+	}
+	p.WarmStartTransfer(32e9)
+	if p.TransferRate() != 32e9 {
+		t.Fatalf("TransferRate = %v, want warm-started 32e9", p.TransferRate())
+	}
+	if got := p.PredictTransfer(16e9).Seconds(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PredictTransfer(16GB) = %vs, want 0.5s at the nominal rate", got)
+	}
+	// A second warm start must not clobber an existing estimate.
+	p.WarmStartTransfer(64e9)
+	if p.TransferRate() != 32e9 {
+		t.Errorf("warm start overwrote a live estimate: %v", p.TransferRate())
+	}
+}
+
+func TestWarmStartedEWMAConvergesToDegradedRate(t *testing.T) {
+	p := &Profiler{}
+	p.WarmStartTransfer(32e9)
+	// The link degrades to a quarter of nominal; every observed copy now
+	// runs at 8 GB/s. The EWMA must converge there despite the warm start.
+	degraded := 8e9
+	for i := 0; i < 60; i++ {
+		p.ObserveTransfer(1e9, sim.Seconds(1e9/degraded))
+	}
+	if rel := math.Abs(p.TransferRate()-degraded) / degraded; rel > 0.01 {
+		t.Errorf("TransferRate = %v after 60 degraded copies, want within 1%% of %v", p.TransferRate(), degraded)
+	}
+}

@@ -153,9 +153,20 @@ func (p *Profiler) ObserveTransfer(bytes float64, d sim.Duration) {
 	p.xferRate = 0.8*p.xferRate + 0.2*rate
 }
 
+// WarmStartTransfer seeds the transfer-rate estimate from the topology's
+// nominal link bandwidth (bytes/second) so the very first dispatch round
+// already prices transfer time instead of ignoring it. Only applies when
+// no real observation has been folded in yet; after that, observed copies
+// own the estimate.
+func (p *Profiler) WarmStartTransfer(bytesPerSec float64) {
+	if p.xferRate == 0 && bytesPerSec > 0 {
+		p.xferRate = bytesPerSec
+	}
+}
+
 // PredictTransfer estimates the time to move a KV payload across the
-// interconnect at the observed rate. Zero until the first observation —
-// before any transfer completes the Profiler has nothing to go on, which
+// interconnect at the observed rate. Zero until the first observation or
+// warm start — with neither, the Profiler has nothing to go on, which
 // matches the paper's compute-only Algorithm 1.
 func (p *Profiler) PredictTransfer(bytes float64) sim.Duration {
 	if bytes <= 0 || p.xferRate <= 0 {

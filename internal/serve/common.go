@@ -82,6 +82,9 @@ func (r *runner) scheduleArrivals(reqs []workload.Request, submit func(*engine.R
 				})
 			}
 			submit(q)
+			if r.cfg.Tracer != nil && r.queueDepth != nil {
+				r.cfg.Tracer.Counter("cluster/queue_depth", r.s.Now(), float64(r.queueDepth()))
+			}
 		})
 	}
 }
@@ -95,7 +98,7 @@ func (r *runner) abortReq(id uint64) {
 		return
 	}
 	delete(r.live, id)
-	r.rec.Abort(id, r.s.Now())
+	r.rec.Abort(id, r.s.Now(), q.Generated)
 	r.aborted++
 	q.Phase = engine.PhaseAborted
 	if r.onAbort != nil {
@@ -136,14 +139,16 @@ func (r *runner) run(reqs []workload.Request, system string) *Result {
 	}
 	r.s.Run(horizon.Add(r.cfg.Horizon))
 	res := &Result{
-		System:     system,
-		Requests:   len(reqs),
-		Unfinished: r.rec.Outstanding(),
-		Elapsed:    r.s.Now(),
-		Records:    r.rec.Completed(),
-		Aborted:    r.aborted,
-		Rejected:   r.rejected,
-		Recovered:  len(r.recovered),
+		System:          system,
+		Requests:        len(reqs),
+		Unfinished:      r.rec.Outstanding(),
+		Elapsed:         r.s.Now(),
+		Records:         r.rec.Completed(),
+		AbortedRecords:  r.rec.Aborted(),
+		RejectedRecords: r.rec.Rejected(),
+		Aborted:         r.aborted,
+		Rejected:        r.rejected,
+		Recovered:       len(r.recovered),
 	}
 	res.Summary = metrics.Summarize(res.Records, r.cfg.SLO)
 	return res

@@ -65,6 +65,9 @@ type Config struct {
 	Horizon sim.Duration
 
 	Tracer *trace.Tracer
+	// Decisions, when non-nil, collects every scheduler decision (dispatch,
+	// reschedule, route) for JSONL export. Nil skips logging entirely.
+	Decisions *sched.DecisionLog
 
 	Wind WindOptions
 

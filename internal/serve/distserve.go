@@ -240,6 +240,7 @@ func (d *pd) prefillRR(q *engine.Req) {
 	}
 	d.rr.prefill = i + 1
 	d.prefillAt[q.W.ID] = i
+	d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.prefills[i].Name(), "round-robin")
 	d.prefills[i].EnqueuePrefill(q)
 }
 
@@ -267,6 +268,24 @@ func (d *pd) kvBytes(tokens int) float64 {
 	return float64(tokens) * d.cfg.Model.KVBytesPerToken()
 }
 
+// nominalP2DRate is the mean healthy p2d link throughput in bytes/second
+// — the Profiler's transfer-rate warm start, so the very first dispatch
+// already prices the KV copy a prefill-side placement implies.
+func (d *pd) nominalP2DRate() float64 {
+	var sum float64
+	n := 0
+	for i := range d.p2d {
+		for j := range d.p2d[i] {
+			sum += d.p2d[i][j].NominalRate()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // serialTransfer is DistServe's path: after prefill, allocate at a decode
 // instance (or queue until blocks free), then occupy the link for the
 // full payload; only then may decoding start.
@@ -292,6 +311,7 @@ func (d *pd) tryStartTransfer(q *engine.Req) bool {
 		if d.decodes[j].KV().Allocate(q.KVID(), q.Ctx()+1) == nil {
 			d.rr.decode = (j + 1) % n
 			d.decodeAt[q.W.ID] = j
+			d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.decodes[j].Name(), "transfer-round-robin")
 			i := d.prefillIdx(q)
 			start := d.r.s.Now()
 			bytes := d.kvBytes(q.Ctx())

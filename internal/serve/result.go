@@ -33,6 +33,11 @@ type Result struct {
 
 	Summary metrics.Summary
 	Records []*metrics.Record
+	// AbortedRecords and RejectedRecords are the finalized records of
+	// requests that did not complete — excluded from Summary but needed by
+	// timeline export, where a truncated lifecycle is still a track.
+	AbortedRecords  []*metrics.Record
+	RejectedRecords []*metrics.Record
 
 	// Per-instance allocator stats (Fig. 1a's swap counts).
 	PrefillKV, DecodeKV kvcache.Stats
@@ -50,6 +55,11 @@ type Result struct {
 	TransferGB   float64 // all cross-instance traffic
 	MigrationGB  float64 // decode→prefill traffic (migrations + backups)
 	SwapStallSec float64 // engine time lost to swap synchronization
+	// TransferRateBps is the Profiler's final link-throughput estimate
+	// (bytes/second): warm-started from nominal bandwidth, then EWMA-tracked
+	// over observed copies, so under a degraded link it converges below
+	// nominal. WindServe only; 0 elsewhere.
+	TransferRateBps float64
 }
 
 func (r *Result) String() string {

@@ -80,6 +80,7 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		}
 		next = i + 1
 		at[q.W.ID] = i
+		cfg.Decisions.AddRoute(r.s.Now(), q.W.ID, instances[i].Name(), "round-robin")
 		instances[i].EnqueuePrefill(q)
 	}
 	r.queueDepth = func() int {

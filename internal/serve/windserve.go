@@ -78,6 +78,7 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 		BudgetTokens:   budget,
 		KVSafetyTokens: int(cfg.Wind.KVSafetyFrac * float64(dkv.TotalBlocks()*dkv.BlockSize())),
 	}
+	prof.WarmStartTransfer(d.nominalP2DRate())
 
 	r.scheduleArrivals(reqs, w.submit)
 	res := r.run(reqs, w.systemName())
@@ -85,6 +86,7 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 	res.Dispatched = w.dispatched
 	res.Rescheduled = w.rescheduled
 	res.Backups = w.backups
+	res.TransferRateBps = prof.TransferRate()
 	return res, nil
 }
 
@@ -167,7 +169,13 @@ func (w *windState) submit(q *engine.Req) {
 			TransferBytes:        w.d.kvBytes(q.W.PromptTokens),
 		}
 		decision := w.coord.DecideDispatch(in)
-		if decision.ToDecode && dec.KV().Allocate(q.KVID(), q.W.PromptTokens+1) == nil {
+		toDecode := decision.ToDecode && dec.KV().Allocate(q.KVID(), q.W.PromptTokens+1) == nil
+		target := w.d.prefills[pi].Name()
+		if toDecode {
+			target = dec.Name()
+		}
+		w.logDispatch(q, in, decision, dec, target, toDecode)
+		if toDecode {
 			w.dispatched++
 			w.d.decodeAt[q.W.ID] = dj
 			now := w.r.s.Now()
@@ -176,9 +184,57 @@ func (w *windState) submit(q *engine.Req) {
 			dec.EnqueueAssist(q)
 			return
 		}
+	} else {
+		w.cfg.Decisions.AddRoute(w.r.s.Now(), q.W.ID, w.d.prefills[pi].Name(), "least-loaded")
 	}
 	w.d.prefillAt[q.W.ID] = pi
 	w.d.prefills[pi].EnqueuePrefill(q)
+}
+
+// logDispatch records one Algorithm 1 decision with the full candidate
+// set: every live prefill instance (compute + transfer terms) and the
+// decode instance the assist would land on (compute only — its prefill
+// needs no KV copy). No-op without a decision log.
+func (w *windState) logDispatch(q *engine.Req, in sched.DispatchInput,
+	decision sched.DispatchDecision, dec *engine.Instance, target string, toDecode bool) {
+	log := w.cfg.Decisions
+	if log == nil {
+		return
+	}
+	rec := &sched.DispatchRecord{
+		Time:           w.r.s.Now(),
+		ReqID:          q.W.ID,
+		PromptTokens:   q.W.PromptTokens,
+		Threshold:      w.coord.Thrd,
+		BudgetTokens:   w.coord.BudgetTokens,
+		AssistInFlight: in.AssistInFlightTokens,
+		Slots:          decision.Slots,
+		Target:         target,
+		ToDecode:       toDecode,
+	}
+	tx := w.coord.Prof.PredictTransfer(in.TransferBytes)
+	for _, p := range w.d.prefills {
+		if p.Down() {
+			continue
+		}
+		queued := p.QueuedPrefillTokens()
+		comp := w.coord.Prof.PredictPrefill(queued+q.W.PromptTokens) + p.BusyRemaining()
+		rec.Candidates = append(rec.Candidates, sched.DispatchCandidate{
+			Instance:      p.Name(),
+			QueuedTokens:  queued,
+			ComputeTTFT:   comp,
+			TransferTTFT:  tx,
+			PredictedTTFT: comp + tx,
+		})
+	}
+	dcomp := w.coord.Prof.PredictPrefill(in.AssistInFlightTokens + q.W.PromptTokens)
+	rec.Candidates = append(rec.Candidates, sched.DispatchCandidate{
+		Instance:      dec.Name(),
+		QueuedTokens:  in.AssistInFlightTokens,
+		ComputeTTFT:   dcomp,
+		PredictedTTFT: dcomp,
+	})
+	log.AddDispatch(rec)
 }
 
 // observeTransfer feeds completed p2d copies into the Profiler so
@@ -280,7 +336,7 @@ func (w *windState) onDecodeIterEnd(j int) {
 			need := int((pol.TargetFree - freeFrac) * float64(capTokens))
 			victims := pol.PickVictims(dec.Running(), need, pol.MaxConcurrentMigrations-len(w.migrations))
 			for _, v := range victims {
-				w.startMigration(v, j)
+				w.startMigration(v, j, freeFrac)
 			}
 		}
 	}
@@ -302,11 +358,23 @@ type migration struct {
 	// always has exactly one pending link callback, which checks dead and
 	// (for a paused drain) re-homes the request instead of resuming here.
 	dead bool
+	// rec is the decision-log entry (nil when logging is off); copy rounds
+	// append to it as they complete.
+	rec *sched.RescheduleRecord
+}
+
+// die invalidates the migration and stamps its log record.
+func (m *migration) die() {
+	m.dead = true
+	if m.rec != nil && m.rec.Outcome == "" {
+		m.rec.Outcome = "dead"
+	}
 }
 
 // startMigration begins moving a long-context decode job from decode
 // instance src to a prefill instance without stopping its decoding.
-func (w *windState) startMigration(q *engine.Req, src int) {
+// freeFrac is the source's free-KV fraction at trigger time (logged).
+func (w *windState) startMigration(q *engine.Req, src int, freeFrac float64) {
 	id := q.KVID()
 	clean := 0
 	dst := w.freestPrefillIdx()
@@ -333,6 +401,16 @@ func (w *windState) startMigration(q *engine.Req, src int) {
 	m := &migration{q: q, clean: clean, src: src, dst: dst}
 	w.migrations[q.W.ID] = m
 	now := w.r.s.Now()
+	m.rec = w.cfg.Decisions.AddReschedule(&sched.RescheduleRecord{
+		Time:         now,
+		ReqID:        q.W.ID,
+		Trigger:      "low-watermark",
+		FreeFrac:     freeFrac,
+		Src:          w.d.decodes[src].Name(),
+		Dst:          w.d.prefills[dst].Name(),
+		CtxTokens:    q.Ctx(),
+		BackupTokens: clean,
+	})
 	w.cfg.Tracer.Add("scheduler", trace.KindReschedule, now, now,
 		fmt.Sprintf("req%d d%d→p%d ctx=%d backup=%d", q.W.ID, src, dst, q.Ctx(), clean))
 	w.migrationRound(m)
@@ -357,6 +435,11 @@ func (w *windState) migrationRound(m *migration) {
 		}
 		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
 			fmt.Sprintf("req%d copy %d tokens", m.q.W.ID, dirty))
+		if m.rec != nil {
+			m.rec.Rounds = append(m.rec.Rounds, sched.CopyRound{
+				Kind: "copy", Start: start, End: w.r.s.Now(), Tokens: dirty,
+			})
+		}
 		m.clean = target
 		w.migrationRound(m)
 	})
@@ -392,6 +475,12 @@ func (w *windState) drainMigration(m *migration) {
 		}
 		w.cfg.Tracer.Add(fmt.Sprintf("link d%d-p%d", m.src, m.dst), trace.KindMigration, start, w.r.s.Now(),
 			fmt.Sprintf("req%d drain %d tokens", q.W.ID, dirty))
+		if m.rec != nil {
+			m.rec.Rounds = append(m.rec.Rounds, sched.CopyRound{
+				Kind: "drain", Start: start, End: w.r.s.Now(), Tokens: dirty,
+			})
+			m.rec.Outcome = "migrated"
+		}
 		delete(w.migrations, q.W.ID)
 		q.Migrating = false
 		if q.Phase == engine.PhaseDone {
@@ -422,7 +511,7 @@ func (w *windState) abortMigrationIfGone(m *migration) bool {
 	}
 	if q.Phase == engine.PhaseDone || q.Phase == engine.PhaseAborted ||
 		q.Phase == engine.PhaseSwapped || q.Phase == engine.PhaseWaiting {
-		m.dead = true
+		m.die()
 		delete(w.migrations, q.W.ID)
 		q.Migrating = false
 		pkv := w.d.prefills[m.dst].KV()
@@ -528,7 +617,7 @@ func (w *windState) releaseForeign(q *engine.Req) {
 // already PhaseAborted) from every WindServe structure.
 func (w *windState) abort(q *engine.Req) {
 	if m, ok := w.migrations[q.W.ID]; ok {
-		m.dead = true
+		m.die()
 		delete(w.migrations, q.W.ID)
 		q.Migrating = false
 	}
@@ -566,7 +655,7 @@ func (w *windState) crashPrefill(i int) {
 		if m.dst != i {
 			continue
 		}
-		m.dead = true
+		m.die()
 		delete(w.migrations, id)
 		m.q.Migrating = false
 	}
@@ -589,7 +678,7 @@ func (w *windState) crashDecode(j int) {
 		if m.src != j {
 			continue
 		}
-		m.dead = true
+		m.die()
 		delete(w.migrations, id)
 	}
 	for _, id := range sortedIDs(w.async) {
@@ -628,7 +717,7 @@ func (w *windState) recoverDecodeOrphan(q *engine.Req) {
 	delete(w.backupInFlight, id)
 	delete(w.d.decodeAt, id)
 	if m, ok := w.migrations[id]; ok {
-		m.dead = true
+		m.die()
 		delete(w.migrations, id)
 	}
 	q.Migrating = false

@@ -87,7 +87,7 @@ func TestStartMigrationFailsGracefullyWithoutPrefillKV(t *testing.T) {
 	q := engine.NewReq(workload.Request{ID: 9, PromptTokens: 1000, OutputTokens: 50})
 	q.PrefillDone, q.Generated = 1000, 5
 	q.Phase = engine.PhaseDecoding
-	w.startMigration(q, 0)
+	w.startMigration(q, 0, 0.05)
 	if q.Migrating || len(w.migrations) != 0 || w.rescheduled != 0 {
 		t.Error("migration should not start without destination blocks")
 	}
@@ -113,7 +113,7 @@ func TestStartMigrationUsesBackupDelta(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.d.decodes[0].InsertRunning(q)
-	w.startMigration(q, 0)
+	w.startMigration(q, 0, 0.05)
 	if !q.Migrating {
 		t.Fatal("migration did not start")
 	}
@@ -151,7 +151,7 @@ func TestMigrationAbortedWhenRequestCompletesMidRound(t *testing.T) {
 	q := engine.NewReq(workload.Request{ID: 11, PromptTokens: 4000, OutputTokens: 200})
 	q.PrefillDone, q.Generated = 4000, 100
 	q.Phase = engine.PhaseDecoding
-	w.startMigration(q, 0) // dirty span ≫ drain threshold → copy round in flight
+	w.startMigration(q, 0, 0.05) // dirty span ≫ drain threshold → copy round in flight
 	if !q.Migrating {
 		t.Fatal("migration did not start")
 	}
@@ -197,7 +197,7 @@ func TestDrainMigrationRacesDecodeKVEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.d.decodes[0].InsertRunning(q)
-	w.startMigration(q, 0)
+	w.startMigration(q, 0, 0.05)
 	if q.Phase != engine.PhaseDraining {
 		t.Fatalf("phase %v, want immediate drain", q.Phase)
 	}

@@ -307,3 +307,42 @@ func TestDurationHelpers(t *testing.T) {
 		t.Error("Duration accessors")
 	}
 }
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	fired := false
+	id := s.Schedule(1, func() { fired = true })
+	s.RunAll()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if s.Cancel(id) {
+		t.Fatal("Cancel returned true for an already-fired event")
+	}
+}
+
+func TestRunUntilHorizonWithPending(t *testing.T) {
+	// Events strictly beyond the horizon must stay pending while the clock
+	// lands exactly on the horizon — systems rely on Now() == deadline when
+	// the run is bounded, not on the clock stopping at the last fired event.
+	s := New()
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(10, func() { fired++ })
+	s.Run(Time(3.5))
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if s.Now() != 3.5 {
+		t.Errorf("Now() = %v, want exactly 3.5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+	// A later bounded run resumes from the clamped clock; with the queue
+	// drained the clock rests at the last fired event, not the horizon.
+	s.Run(Time(20))
+	if fired != 2 || s.Now() != 10 {
+		t.Errorf("after second run: fired=%d Now()=%v, want 2 and 10", fired, s.Now())
+	}
+}

@@ -30,6 +30,8 @@ const (
 	KindMigration  Kind = "migration"   // stall-free rescheduling copy
 	KindDispatch   Kind = "dispatch"    // dynamic prefill dispatch decision
 	KindReschedule Kind = "reschedule"  // dynamic rescheduling decision
+	KindQueue      Kind = "queue"       // request waiting for prefill
+	KindHandoff    Kind = "handoff"     // first token → first decode step (transfer + decode queue)
 )
 
 // Span is one timed activity on a named lane.
@@ -41,10 +43,19 @@ type Span struct {
 	Detail string // free-form, e.g. request ids
 }
 
-// Tracer collects spans. A nil *Tracer is valid and records nothing, so
-// engines can trace unconditionally.
+// CounterSample is one point of a per-track timeseries (queue depths, KV
+// utilization, running batch size) sampled on simulator events.
+type CounterSample struct {
+	Track string
+	T     sim.Time
+	V     float64
+}
+
+// Tracer collects spans and counter samples. A nil *Tracer is valid and
+// records nothing, so engines can trace unconditionally.
 type Tracer struct {
-	Spans []Span
+	Spans    []Span
+	Counters []CounterSample
 }
 
 // New returns an empty tracer.
@@ -59,6 +70,31 @@ func (t *Tracer) Add(lane string, kind Kind, start, end sim.Time, detail string)
 		panic(fmt.Sprintf("trace: span %s/%s ends before it starts", lane, kind))
 	}
 	t.Spans = append(t.Spans, Span{Lane: lane, Kind: kind, Start: start, End: end, Detail: detail})
+}
+
+// Counter records one timeseries sample. No-op on a nil tracer.
+func (t *Tracer) Counter(track string, at sim.Time, v float64) {
+	if t == nil {
+		return
+	}
+	t.Counters = append(t.Counters, CounterSample{Track: track, T: at, V: v})
+}
+
+// CounterTracks returns the distinct counter track names in
+// first-appearance order.
+func (t *Tracer) CounterTracks() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var tracks []string
+	for _, c := range t.Counters {
+		if !seen[c.Track] {
+			seen[c.Track] = true
+			tracks = append(tracks, c.Track)
+		}
+	}
+	return tracks
 }
 
 // Lanes returns the distinct lane names in first-appearance order.

@@ -44,6 +44,11 @@ func NewLink(s *sim.Simulator, name string, spec gpu.LinkSpec, efficiency float6
 // Spec returns the underlying hardware path.
 func (l *Link) Spec() gpu.LinkSpec { return l.spec }
 
+// NominalRate returns the healthy effective throughput in bytes/second
+// (raw bandwidth × protocol efficiency, ignoring any injected
+// degradation) — the Profiler's transfer-rate warm start.
+func (l *Link) NominalRate() float64 { return l.spec.BytesPerSecond() * l.eff }
+
 // SetDegradation scales the link to frac of nominal bandwidth (fault
 // injection: congestion, a failing NIC). frac of 1 restores full speed;
 // values outside (0,1] are clamped to healthy. Transfers already in
