@@ -14,35 +14,71 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"windserve/internal/bench"
 	"windserve/internal/fault"
 	"windserve/internal/obs"
+	"windserve/internal/par"
 )
 
-func main() {
+// main delegates to run so deferred profile writers fire before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	n := flag.Int("n", 600, "requests per simulation run")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per exhibit (0 = GOMAXPROCS); output is byte-identical at any setting")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
 	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
 	decisionsPath := flag.String("decisions", "", "write the traced capture's scheduler decision log here as JSONL")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 && *tracePath == "" && *decisionsPath == "" {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	o := bench.Options{Requests: *n, Seed: *seed}
+	par.SetDefault(*parallel)
+	o := bench.Options{Requests: *n, Seed: *seed, Parallel: *parallel}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeFile(*memProfile, func(f *os.File) error {
+				runtime.GC() // get up-to-date allocation statistics
+				return pprof.Lookup("allocs").WriteTo(f, 0)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "windbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var plan *fault.Plan
 	if *faults != "" {
 		var err error
 		if plan, err = fault.Parse(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "windbench: -faults: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		plan.Seed = *seed
 	}
@@ -109,15 +145,15 @@ func main() {
 		sort.Strings(args)
 	}
 	for _, name := range args {
-		run, ok := exhibits[strings.ToLower(name)]
+		exp, ok := exhibits[strings.ToLower(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "windbench: unknown exhibit %q\n", name)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("==== %s ====\n", name)
-		if err := run(os.Stdout); err != nil {
+		if err := exp(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "windbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
@@ -127,14 +163,14 @@ func main() {
 		art, err := bench.ExpTraceCapture(o, os.Stdout, plan)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "windbench: trace capture: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *tracePath != "" {
 			if err := writeFile(*tracePath, func(f *os.File) error {
 				return obs.WriteChromeTrace(f, art.Tracer, art.AllRecords())
 			}); err != nil {
 				fmt.Fprintf(os.Stderr, "windbench: -trace: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
 		}
@@ -143,11 +179,12 @@ func main() {
 				return art.Decisions.WriteJSONL(f)
 			}); err != nil {
 				fmt.Fprintf(os.Stderr, "windbench: -decisions: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %d scheduler decisions to %s\n", art.Decisions.Len(), *decisionsPath)
 		}
 	}
+	return 0
 }
 
 // writeFile creates path, streams through write, and surfaces close errors

@@ -15,6 +15,7 @@ import (
 
 	"windserve/internal/metrics"
 	"windserve/internal/model"
+	"windserve/internal/par"
 	"windserve/internal/serve"
 	"windserve/internal/workload"
 )
@@ -25,6 +26,12 @@ type Options struct {
 	Requests int
 	// Seed fixes the workload RNG.
 	Seed int64
+	// Parallel bounds how many independent simulation runs an exhibit
+	// executes concurrently; <= 0 means par.Default() (GOMAXPROCS unless
+	// overridden by windbench -parallel). Every run owns its simulator,
+	// RNG, and recorder, and rows are collected in submission order, so
+	// output is byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultOptions returns the sizes used for the committed EXPERIMENTS.md.
@@ -39,6 +46,9 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// pool returns the worker pool an exhibit fans its runs across.
+func (o Options) pool() *par.Pool { return par.NewPool(o.Parallel) }
 
 // scenario binds a model to its dataset and rate sweep (per-GPU req/s,
 // following the paper's linear scaling rule).
@@ -90,29 +100,92 @@ type Row struct {
 	Result  *serve.Result
 }
 
-// runSystems runs the named systems on one scenario/rate and returns rows.
-func runSystems(sc scenario, rate float64, o Options, systems map[string]func(serve.Config, []workload.Request) (*serve.Result, error)) ([]Row, error) {
-	cfg, err := serve.DefaultConfig(sc.model)
+// fanOut runs independent simulation thunks on the exhibit's pool and
+// returns their results in submission order. Thunks must not share
+// mutable state: each simulation run owns its simulator, RNG, and
+// recorder, and anything shared (request traces, fault plans, topologies)
+// is read-only for the duration.
+func fanOut[R any](o Options, thunks []func() (R, error)) ([]R, error) {
+	return par.Run(o.pool(), len(thunks), func(i int) (R, error) { return thunks[i]() })
+}
+
+// systemOrder fixes the deterministic row order within every sweep point.
+var systemOrder = []string{"vLLM", "DistServe", "WindServe", "WindServe-no-split", "WindServe-no-resche"}
+
+// sweepPoint is one (scenario, rate) cell of a sweep, carrying its system
+// rows in canonical order once the pool has drained.
+type sweepPoint struct {
+	scIdx int
+	sc    scenario
+	rate  float64
+	rows  []Row
+}
+
+// runSweep flattens (scenario × rate × system) into a single pool fan-out
+// — the finest independent-run granularity a sweep has — and regroups the
+// rows per (scenario, rate) point in serial nesting order, so callers
+// print byte-identical output at any pool size. Traces are generated
+// up front (cheap, deterministic) and shared read-only across the
+// point's systems.
+func runSweep(scs []scenario, o Options, systems map[string]func(serve.Config, []workload.Request) (*serve.Result, error)) ([]sweepPoint, error) {
+	type job struct {
+		point int
+		name  string
+		run   func(serve.Config, []workload.Request) (*serve.Result, error)
+		cfg   serve.Config
+		reqs  []workload.Request
+		sc    scenario
+		rate  float64
+	}
+	var points []sweepPoint
+	var jobs []job
+	for si, sc := range scs {
+		for _, rate := range sc.rates {
+			cfg, err := serve.DefaultConfig(sc.model)
+			if err != nil {
+				return nil, err
+			}
+			reqs := sc.trace(rate, cfg, o)
+			points = append(points, sweepPoint{scIdx: si, sc: sc, rate: rate})
+			for _, name := range systemOrder {
+				run, ok := systems[name]
+				if !ok {
+					continue
+				}
+				jobs = append(jobs, job{
+					point: len(points) - 1, name: name, run: run,
+					cfg: cfg, reqs: reqs, sc: sc, rate: rate,
+				})
+			}
+		}
+	}
+	rows, err := par.Map(o.pool(), jobs, func(_ int, j job) (Row, error) {
+		res, err := j.run(j.cfg, j.reqs)
+		if err != nil {
+			return Row{}, fmt.Errorf("bench: %s %s rate %v: %w", j.sc.model.Name, j.name, j.rate, err)
+		}
+		return Row{
+			Model: j.sc.model.Name, Dataset: j.sc.dataset.Name, System: res.System,
+			Rate: j.rate, Summary: res.Summary, Result: res,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	reqs := sc.trace(rate, cfg, o)
-	var rows []Row
-	for _, name := range []string{"vLLM", "DistServe", "WindServe", "WindServe-no-split", "WindServe-no-resche"} {
-		run, ok := systems[name]
-		if !ok {
-			continue
-		}
-		res, err := run(cfg, reqs)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s %s rate %v: %w", sc.model.Name, name, rate, err)
-		}
-		rows = append(rows, Row{
-			Model: sc.model.Name, Dataset: sc.dataset.Name, System: res.System,
-			Rate: rate, Summary: res.Summary, Result: res,
-		})
+	for i, j := range jobs {
+		points[j.point].rows = append(points[j.point].rows, rows[i])
 	}
-	return rows, nil
+	return points, nil
+}
+
+// runSystems runs the named systems on one scenario/rate and returns rows.
+func runSystems(sc scenario, rate float64, o Options, systems map[string]func(serve.Config, []workload.Request) (*serve.Result, error)) ([]Row, error) {
+	sc.rates = []float64{rate}
+	points, err := runSweep([]scenario{sc}, o, systems)
+	if err != nil {
+		return nil, err
+	}
+	return points[0].rows, nil
 }
 
 func threeSystems() map[string]func(serve.Config, []workload.Request) (*serve.Result, error) {

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"windserve/internal/workload"
+)
+
+// TestParallelOutputByteIdentical pins the runner's central contract: an
+// exhibit's printed output is byte-for-byte the same whether its runs
+// execute serially or fan out across the pool. ExpFig1 covers the
+// runSweep path (scenario × rate × system), ExpFig5 the thunk path, and
+// ExpResilience the extension path with a shared fault plan.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	o := small()
+	o.Requests = 120
+	exhibits := []struct {
+		name string
+		run  func(o Options, w io.Writer) error
+	}{
+		{"fig1", func(o Options, w io.Writer) error { _, err := ExpFig1(o, w); return err }},
+		{"fig5", func(o Options, w io.Writer) error { _, err := ExpFig5(o, w); return err }},
+		{"ext-faults", func(o Options, w io.Writer) error { _, err := ExpResilience(o, w, nil); return err }},
+	}
+	for _, ex := range exhibits {
+		var want string
+		for _, workers := range []int{1, 4, 8} {
+			po := o
+			po.Parallel = workers
+			var sb strings.Builder
+			if err := ex.run(po, &sb); err != nil {
+				t.Fatalf("%s parallel=%d: %v", ex.name, workers, err)
+			}
+			if workers == 1 {
+				want = sb.String()
+				continue
+			}
+			if got := sb.String(); got != want {
+				t.Errorf("%s: parallel=%d output differs from serial\nserial:\n%s\nparallel:\n%s",
+					ex.name, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestExpTable2RunToRun pins run-to-run determinism under the pool: the
+// same options must yield identical rows (and bytes) every invocation.
+func TestExpTable2RunToRun(t *testing.T) {
+	o := small()
+	o.Parallel = 4
+	var want string
+	var wantRows []workload.TraceStats
+	for i := 0; i < 3; i++ {
+		var sb strings.Builder
+		rows, err := ExpTable2(o, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want, wantRows = sb.String(), rows
+			continue
+		}
+		if sb.String() != want {
+			t.Fatalf("run %d: output differs from run 0", i)
+		}
+		if len(rows) != len(wantRows) {
+			t.Fatalf("run %d: %d rows, want %d", i, len(rows), len(wantRows))
+		}
+		for j := range rows {
+			if rows[j] != wantRows[j] {
+				t.Errorf("run %d row %d: %+v != %+v", i, j, rows[j], wantRows[j])
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"windserve/internal/gpu"
 	"windserve/internal/kvcache"
 	"windserve/internal/model"
+	"windserve/internal/par"
 	"windserve/internal/perf"
 	"windserve/internal/sched"
 	"windserve/internal/serve"
@@ -58,39 +59,37 @@ type Fig1Row struct {
 // together they cover both degradation modes the paper's figure shows.
 func ExpFig1(o Options, w io.Writer) ([]Fig1Row, error) {
 	o = o.withDefaults()
+	points, err := runSweep([]scenario{chatbot13B(), chatbot66B()}, o, threeSystems())
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig1Row
 	tw := table(w)
 	fmt.Fprintln(w, "Fig 1: TPOT/TTFT degradation under high load (ShareGPT)")
 	fmt.Fprintln(tw, "model\trate\tdist decodeQ p99 (ms)\tdist swaps\tdist TPOT p99 (ms)\tSLO dist\tSLO vllm")
-	for _, sc := range []scenario{chatbot13B(), chatbot66B()} {
-		for _, rate := range sc.rates {
-			rs, err := runSystems(sc, rate, o, threeSystems())
-			if err != nil {
-				return nil, err
+	for _, pt := range points {
+		var dist, vllm Row
+		for _, r := range pt.rows {
+			switch r.System {
+			case "DistServe":
+				dist = r
+			case "vLLM":
+				vllm = r
 			}
-			var dist, vllm Row
-			for _, r := range rs {
-				switch r.System {
-				case "DistServe":
-					dist = r
-				case "vLLM":
-					vllm = r
-				}
-			}
-			row := Fig1Row{
-				Model:                sc.model.Name,
-				Rate:                 rate,
-				DistDecodeQueueP99Ms: dist.Summary.DecodeQueueP99.Milliseconds(),
-				DistSwapEvents:       dist.Result.DecodeKV.SwapOutEvents,
-				DistAttainment:       dist.Summary.Attainment,
-				VLLMAttainment:       vllm.Summary.Attainment,
-				DistTPOTP99Ms:        dist.Summary.TPOTP99.Milliseconds(),
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%d\t%.1f\t%s\t%s\n", row.Model, rate,
-				row.DistDecodeQueueP99Ms, row.DistSwapEvents, row.DistTPOTP99Ms,
-				pctStr(row.DistAttainment), pctStr(row.VLLMAttainment))
 		}
+		row := Fig1Row{
+			Model:                pt.sc.model.Name,
+			Rate:                 pt.rate,
+			DistDecodeQueueP99Ms: dist.Summary.DecodeQueueP99.Milliseconds(),
+			DistSwapEvents:       dist.Result.DecodeKV.SwapOutEvents,
+			DistAttainment:       dist.Summary.Attainment,
+			VLLMAttainment:       vllm.Summary.Attainment,
+			DistTPOTP99Ms:        dist.Summary.TPOTP99.Milliseconds(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%d\t%.1f\t%s\t%s\n", row.Model, pt.rate,
+			row.DistDecodeQueueP99Ms, row.DistSwapEvents, row.DistTPOTP99Ms,
+			pctStr(row.DistAttainment), pctStr(row.VLLMAttainment))
 	}
 	return rows, tw.Flush()
 }
@@ -107,10 +106,7 @@ type Fig2Row struct {
 // OPT-13B and OPT-66B under DistServe.
 func ExpFig2(o Options, w io.Writer) ([]Fig2Row, error) {
 	o = o.withDefaults()
-	var rows []Fig2Row
-	fmt.Fprintln(w, "Fig 2: mean resource utilization of prefill vs decode instances (DistServe)")
-	tw := table(w)
-	fmt.Fprintln(tw, "model\tTensorCore(P)\tMemBW(P)\tTensorCore(D)\tMemBW(D)")
+	var thunks []func() (Fig2Row, error)
 	for _, c := range []struct {
 		sc   scenario
 		rate float64
@@ -118,20 +114,31 @@ func ExpFig2(o Options, w io.Writer) ([]Fig2Row, error) {
 		{chatbot13B(), 4},
 		{chatbot66B(), 0.6},
 	} {
-		cfg, err := serve.DefaultConfig(c.sc.model)
-		if err != nil {
-			return nil, err
-		}
-		res, err := serve.RunDistServe(cfg, c.sc.trace(c.rate, cfg, o))
-		if err != nil {
-			return nil, err
-		}
-		row := Fig2Row{
-			Model:       c.sc.model.Name,
-			TensorCoreP: res.PrefillComputeUtil, MemBWP: res.PrefillBWUtil,
-			TensorCoreD: res.DecodeComputeUtil, MemBWD: res.DecodeBWUtil,
-		}
-		rows = append(rows, row)
+		c := c
+		thunks = append(thunks, func() (Fig2Row, error) {
+			cfg, err := serve.DefaultConfig(c.sc.model)
+			if err != nil {
+				return Fig2Row{}, err
+			}
+			res, err := serve.RunDistServe(cfg, c.sc.trace(c.rate, cfg, o))
+			if err != nil {
+				return Fig2Row{}, err
+			}
+			return Fig2Row{
+				Model:       c.sc.model.Name,
+				TensorCoreP: res.PrefillComputeUtil, MemBWP: res.PrefillBWUtil,
+				TensorCoreD: res.DecodeComputeUtil, MemBWD: res.DecodeBWUtil,
+			}, nil
+		})
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig 2: mean resource utilization of prefill vs decode instances (DistServe)")
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tTensorCore(P)\tMemBW(P)\tTensorCore(D)\tMemBW(D)")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", row.Model,
 			pctStr(row.TensorCoreP), pctStr(row.MemBWP), pctStr(row.TensorCoreD), pctStr(row.MemBWD))
 	}
@@ -150,10 +157,7 @@ type Fig3Row struct {
 // becomes the bottleneck.
 func ExpFig3(o Options, w io.Writer) ([]Fig3Row, error) {
 	o = o.withDefaults()
-	var rows []Fig3Row
-	fmt.Fprintln(w, "Fig 3: queuing delays for different placements (13B, ShareGPT, 4 req/s/GPU, DistServe)")
-	tw := table(w)
-	fmt.Fprintln(tw, "placement\tprefill queue mean (ms)\tdecode queue p99 (ms)\tTTFT attain\tTPOT attain")
+	var thunks []func() (Fig3Row, error)
 	for _, pl := range []struct {
 		name   string
 		decode perf.Placement
@@ -161,25 +165,36 @@ func ExpFig3(o Options, w io.Writer) ([]Fig3Row, error) {
 		{"[TP-2, TP-1]", perf.Placement{TP: 1, PP: 1}},
 		{"[TP-2, TP-2]", perf.Placement{TP: 2, PP: 1}},
 	} {
-		cfg, err := serve.DefaultConfig(model.OPT13B)
-		if err != nil {
-			return nil, err
-		}
-		cfg.DecodePlace = pl.decode
-		gpus := float64(cfg.TotalGPUs())
-		g := workload.NewGenerator(workload.ShareGPT(), workload.PoissonArrivals{Rate: 4 * gpus}, o.Seed)
-		res, err := serve.RunDistServe(cfg, g.Generate(o.Requests))
-		if err != nil {
-			return nil, err
-		}
-		row := Fig3Row{
-			Placement:          pl.name,
-			PrefillQueueMeanMs: res.Summary.PrefillQueueMean.Milliseconds(),
-			DecodeQueueP99Ms:   res.Summary.DecodeQueueP99.Milliseconds(),
-			TTFTAttain:         res.Summary.TTFTAttainment,
-			TPOTAttain:         res.Summary.TPOTAttainment,
-		}
-		rows = append(rows, row)
+		pl := pl
+		thunks = append(thunks, func() (Fig3Row, error) {
+			cfg, err := serve.DefaultConfig(model.OPT13B)
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			cfg.DecodePlace = pl.decode
+			gpus := float64(cfg.TotalGPUs())
+			g := workload.NewGenerator(workload.ShareGPT(), workload.PoissonArrivals{Rate: 4 * gpus}, o.Seed)
+			res, err := serve.RunDistServe(cfg, g.Generate(o.Requests))
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			return Fig3Row{
+				Placement:          pl.name,
+				PrefillQueueMeanMs: res.Summary.PrefillQueueMean.Milliseconds(),
+				DecodeQueueP99Ms:   res.Summary.DecodeQueueP99.Milliseconds(),
+				TTFTAttain:         res.Summary.TTFTAttainment,
+				TPOTAttain:         res.Summary.TPOTAttainment,
+			}, nil
+		})
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig 3: queuing delays for different placements (13B, ShareGPT, 4 req/s/GPU, DistServe)")
+	tw := table(w)
+	fmt.Fprintln(tw, "placement\tprefill queue mean (ms)\tdecode queue p99 (ms)\tTTFT attain\tTPOT attain")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%s\n", row.Placement,
 			row.PrefillQueueMeanMs, row.DecodeQueueP99Ms, pctStr(row.TTFTAttain), pctStr(row.TPOTAttain))
 	}
@@ -189,6 +204,19 @@ func ExpFig3(o Options, w io.Writer) ([]Fig3Row, error) {
 // ExpTable2 prints the synthetic datasets' statistics next to the paper's.
 func ExpTable2(o Options, w io.Writer) ([]workload.TraceStats, error) {
 	o = o.withDefaults()
+	datasets := []workload.Dataset{workload.ShareGPT(), workload.LongBench()}
+	var thunks []func() (workload.TraceStats, error)
+	for _, ds := range datasets {
+		ds := ds
+		thunks = append(thunks, func() (workload.TraceStats, error) {
+			g := workload.NewGenerator(ds, workload.UniformArrivals{Rate: 1}, o.Seed)
+			return workload.Summarize(g.Generate(max(o.Requests, 20000))), nil
+		})
+	}
+	out, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintln(w, "Table 2: dataset statistics (synthetic samplers vs paper)")
 	tw := table(w)
 	fmt.Fprintln(tw, "dataset\tprompt avg/med/P90\tpaper\toutput avg/med/P90\tpaper")
@@ -196,11 +224,8 @@ func ExpTable2(o Options, w io.Writer) ([]workload.TraceStats, error) {
 		"ShareGPT":  {"768.2/695/1556", "195.9/87/518"},
 		"LongBench": {"2890.4/2887/3792", "97.4/12/369"},
 	}
-	var out []workload.TraceStats
-	for _, ds := range []workload.Dataset{workload.ShareGPT(), workload.LongBench()} {
-		g := workload.NewGenerator(ds, workload.UniformArrivals{Rate: 1}, o.Seed)
-		st := workload.Summarize(g.Generate(max(o.Requests, 20000)))
-		out = append(out, st)
+	for i, ds := range datasets {
+		st := out[i]
 		fmt.Fprintf(tw, "%s\t%.1f/%.0f/%.0f\t%s\t%.1f/%.0f/%.0f\t%s\n", ds.Name,
 			st.PromptAvg, st.PromptMedian, st.PromptP90, paper[ds.Name][0],
 			st.OutputAvg, st.OutputMedian, st.OutputP90, paper[ds.Name][1])
@@ -228,10 +253,7 @@ func ExpFig5(o Options, w io.Writer) ([]Fig5Row, error) {
 		{"OPT-13B/ShareGPT@4", chatbot13B(), 4},
 		{"LLaMA2-13B/LongBench@1.5", summarize13B(), 1.5},
 	}
-	var rows []Fig5Row
-	fmt.Fprintln(w, "Fig 5: impact of dispatch threshold thrd on SLO attainment (WindServe)")
-	tw := table(w)
-	fmt.Fprintln(tw, "scenario\tthrd (×TTFT SLO)\tSLO attainment")
+	var thunks []func() (Fig5Row, error)
 	for _, c := range cases {
 		cfg, err := serve.DefaultConfig(c.sc.model)
 		if err != nil {
@@ -239,16 +261,27 @@ func ExpFig5(o Options, w io.Writer) ([]Fig5Row, error) {
 		}
 		reqs := c.sc.trace(c.rate, cfg, o)
 		for _, f := range fracs {
-			cf := cfg
-			cf.Wind.ThresholdFrac = f
-			res, err := serve.RunWindServe(cf, reqs)
-			if err != nil {
-				return nil, err
-			}
-			row := Fig5Row{Scenario: c.name, ThresholdFrac: f, Attainment: res.Summary.Attainment}
-			rows = append(rows, row)
-			fmt.Fprintf(tw, "%s\t%.1f\t%s\n", c.name, f, pctStr(row.Attainment))
+			c, f := c, f
+			thunks = append(thunks, func() (Fig5Row, error) {
+				cf := cfg
+				cf.Wind.ThresholdFrac = f
+				res, err := serve.RunWindServe(cf, reqs)
+				if err != nil {
+					return Fig5Row{}, err
+				}
+				return Fig5Row{Scenario: c.name, ThresholdFrac: f, Attainment: res.Summary.Attainment}, nil
+			})
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig 5: impact of dispatch threshold thrd on SLO attainment (WindServe)")
+	tw := table(w)
+	fmt.Fprintln(tw, "scenario\tthrd (×TTFT SLO)\tSLO attainment")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\n", row.Scenario, row.ThresholdFrac, pctStr(row.Attainment))
 	}
 	return rows, tw.Flush()
 }
@@ -301,14 +334,13 @@ func ExpFig7(w io.Writer) (string, string, error) {
 		_ = from
 		return tr.Gantt(0, to, 96), nil
 	}
-	chunked, err := mk(false)
+	charts, err := par.Run(par.NewPool(0), 2, func(i int) (string, error) {
+		return mk(i == 1)
+	})
 	if err != nil {
 		return "", "", err
 	}
-	sbd, err := mk(true)
-	if err != nil {
-		return "", "", err
-	}
+	chunked, sbd := charts[0], charts[1]
 	fmt.Fprintln(w, "Fig 7: chunked-prefill vs stream-based disaggregation timelines")
 	fmt.Fprintln(w, "\n-- chunked prefill (prefill D chunks ride hybrid passes, slowing every decode) --")
 	fmt.Fprint(w, chunked)
@@ -344,17 +376,15 @@ func ExpFig8(w io.Writer) ([]Fig8Row, error) {
 		{model.LLaMA270B, perf.Placement{TP: 2, PP: 2}},
 	}
 	const chunkSize = 512
-	var rows []Fig8Row
-	fmt.Fprintln(w, "Fig 8 + §3.4: per-pass prefill/decode cost — Regular vs chunked(512) vs SBD (16 decodes, ctx 2048)")
-	tw := table(w)
-	fmt.Fprintln(tw, "model\tprefill N\tdec alone\tpre alone\treg dec\treg pre\tchunk dec\tchunk pre total\tSBD dec\tSBD pre\t(ms)")
-	for _, c := range cases {
+	perModel, err := par.Run(par.NewPool(0), len(cases), func(ci int) ([]Fig8Row, error) {
+		c := cases[ci]
 		cm := perf.MustNew(c.cfg, gpu.A800, c.place, gpu.NVLinkBridge, perf.DefaultParams())
 		ctx := 2048
 		if ctx > c.cfg.MaxContext {
 			ctx = c.cfg.MaxContext
 		}
 		dec := perf.DecodeOnly(16, 16*ctx)
+		var rows []Fig8Row
 		for _, n := range []int{512, 1024, 2048} {
 			pre := perf.PrefillOnly(n)
 			hybrid := cm.IterTime(perf.Batch{Prefill: pre.Prefill, DecodeReqs: dec.DecodeReqs, DecodeSumCtx: dec.DecodeSumCtx})
@@ -377,7 +407,7 @@ func ExpFig8(w io.Writer) ([]Fig8Row, error) {
 					chunkPass = pass
 				}
 			}
-			row := Fig8Row{
+			rows = append(rows, Fig8Row{
 				Model:            c.cfg.Name,
 				PrefillTokens:    n,
 				DecodeAloneMs:    cm.IterTime(dec).Milliseconds(),
@@ -388,10 +418,22 @@ func ExpFig8(w io.Writer) ([]Fig8Row, error) {
 				ChunkedDecodeMs:  chunkPass.Milliseconds(),
 				SBDPrefillMs:     cm.SBDPrefillTime(pre, dec).Milliseconds(),
 				SBDDecodeMs:      cm.SBDDecodeTime(dec, pre).Milliseconds(),
-			}
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	fmt.Fprintln(w, "Fig 8 + §3.4: per-pass prefill/decode cost — Regular vs chunked(512) vs SBD (16 decodes, ctx 2048)")
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tprefill N\tdec alone\tpre alone\treg dec\treg pre\tchunk dec\tchunk pre total\tSBD dec\tSBD pre\t(ms)")
+	for _, mr := range perModel {
+		for _, row := range mr {
 			rows = append(rows, row)
 			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
-				row.Model, n, row.DecodeAloneMs, row.PrefillAloneMs,
+				row.Model, row.PrefillTokens, row.DecodeAloneMs, row.PrefillAloneMs,
 				row.RegularDecodeMs, row.RegularPrefillMs,
 				row.ChunkedDecodeMs, row.ChunkedPrefillMs,
 				row.SBDDecodeMs, row.SBDPrefillMs)
@@ -415,11 +457,7 @@ type ProfilerRow struct {
 // prediction error against the engine on shapes outside the sampling
 // grid — the quantity Algorithm 1's threshold comparison depends on.
 func ExpProfiler(w io.Writer) ([]ProfilerRow, error) {
-	fmt.Fprintln(w, "Profiler fits (eqs. 1-2): T̂p = cₚ + aₚN + bₚN², T̂d = c_d + a_d·ΣL")
-	tw := table(w)
-	fmt.Fprintln(tw, "model\tprefill R²\tdecode R²\tmax prefill err\tmax decode err\taₚ (µs/tok)\ta_d (µs/tok)")
-	var rows []ProfilerRow
-	for _, c := range []struct {
+	cases := []struct {
 		cfg   model.Config
 		place perf.Placement
 	}{
@@ -427,11 +465,13 @@ func ExpProfiler(w io.Writer) ([]ProfilerRow, error) {
 		{model.OPT66B, perf.Placement{TP: 2, PP: 2}},
 		{model.LLaMA213B, perf.Placement{TP: 2, PP: 1}},
 		{model.LLaMA270B, perf.Placement{TP: 2, PP: 2}},
-	} {
+	}
+	rows, err := par.Run(par.NewPool(0), len(cases), func(ci int) (ProfilerRow, error) {
+		c := cases[ci]
 		cm := perf.MustNew(c.cfg, gpu.A800, c.place, gpu.NVLinkBridge, perf.DefaultParams())
 		prof, err := sched.Profile(cm, nil)
 		if err != nil {
-			return nil, err
+			return ProfilerRow{}, err
 		}
 		row := ProfilerRow{Model: c.cfg.Name, PrefillR2: prof.PrefillR2, DecodeR2: prof.DecodeR2}
 		row.Cp, row.Ap, row.Bp = prof.PrefillCoefficients()
@@ -455,7 +495,15 @@ func ExpProfiler(w io.Writer) ([]ProfilerRow, error) {
 				row.MaxDecodeErrPct = errPct
 			}
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Profiler fits (eqs. 1-2): T̂p = cₚ + aₚN + bₚN², T̂d = c_d + a_d·ΣL")
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tprefill R²\tdecode R²\tmax prefill err\tmax decode err\taₚ (µs/tok)\ta_d (µs/tok)")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.1f%%\t%.1f%%\t%.2f\t%.3f\n",
 			row.Model, row.PrefillR2, row.DecodeR2, row.MaxPrefillErrPct, row.MaxDecodeErrPct,
 			row.Ap*1e6, row.Ad*1e6)
@@ -515,22 +563,26 @@ func ExpTable4(w io.Writer) error {
 // carry the attainment data for Fig. 11.
 func ExpFig10(o Options, w io.Writer) ([]Row, error) {
 	o = o.withDefaults()
+	scs := []scenario{chatbot13B(), chatbot66B(), summarize13B(), summarize70B()}
+	points, err := runSweep(scs, o, threeSystems())
+	if err != nil {
+		return nil, err
+	}
 	var all []Row
-	for _, sc := range []scenario{chatbot13B(), chatbot66B(), summarize13B(), summarize70B()} {
+	for si, sc := range scs {
 		fmt.Fprintf(w, "Fig 10: %s on %s\n", sc.model.Name, sc.dataset.Name)
 		tw := table(w)
 		fmt.Fprintln(tw, "rate\tsystem\tTTFT p50\tTTFT p99\tTPOT p90\tTPOT p99\t(ms)")
-		for _, rate := range sc.rates {
-			rows, err := runSystems(sc, rate, o, threeSystems())
-			if err != nil {
-				return nil, err
+		for _, pt := range points {
+			if pt.scIdx != si {
+				continue
 			}
-			for _, r := range rows {
-				fmt.Fprintf(tw, "%.2f\t%s\t%s\t%s\t%s\t%s\t\n", rate, r.System,
+			for _, r := range pt.rows {
+				fmt.Fprintf(tw, "%.2f\t%s\t%s\t%s\t%s\t%s\t\n", pt.rate, r.System,
 					ms(r.Summary.TTFTP50), ms(r.Summary.TTFTP99),
 					ms(r.Summary.TPOTP90), ms(r.Summary.TPOTP99))
 			}
-			all = append(all, rows...)
+			all = append(all, pt.rows...)
 		}
 		if err := tw.Flush(); err != nil {
 			return nil, err
@@ -576,10 +628,7 @@ type Fig12Row struct {
 // is TTFT-limited and WindServe recovers via Dynamic Prefill Dispatch.
 func ExpFig12(o Options, w io.Writer) ([]Fig12Row, error) {
 	o = o.withDefaults()
-	var rows []Fig12Row
-	fmt.Fprintln(w, "Fig 12: SLO attainment under different allocations (OPT-13B, ShareGPT)")
-	tw := table(w)
-	fmt.Fprintln(tw, "placement\trate\tsystem\tSLO\tTTFT-only\tTPOT-only")
+	var thunks []func() (Fig12Row, error)
 	for _, pl := range []struct {
 		name   string
 		decode perf.Placement
@@ -601,22 +650,32 @@ func ExpFig12(o Options, w io.Writer) ([]Fig12Row, error) {
 				name string
 				run  func(serve.Config, []workload.Request) (*serve.Result, error)
 			}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
-				name, run := sys.name, sys.run
-				res, err := run(cfg, reqs)
-				if err != nil {
-					return nil, fmt.Errorf("bench: fig12 %s %s: %w", pl.name, name, err)
-				}
-				row := Fig12Row{
-					Placement: pl.name, Rate: rate, System: res.System,
-					Attainment: res.Summary.Attainment,
-					TTFTAttain: res.Summary.TTFTAttainment,
-					TPOTAttain: res.Summary.TPOTAttainment,
-				}
-				rows = append(rows, row)
-				fmt.Fprintf(tw, "%s\t%.2f\t%s\t%s\t%s\t%s\n", pl.name, rate, row.System,
-					pctStr(row.Attainment), pctStr(row.TTFTAttain), pctStr(row.TPOTAttain))
+				pl, rate, name, run := pl, rate, sys.name, sys.run
+				thunks = append(thunks, func() (Fig12Row, error) {
+					res, err := run(cfg, reqs)
+					if err != nil {
+						return Fig12Row{}, fmt.Errorf("bench: fig12 %s %s: %w", pl.name, name, err)
+					}
+					return Fig12Row{
+						Placement: pl.name, Rate: rate, System: res.System,
+						Attainment: res.Summary.Attainment,
+						TTFTAttain: res.Summary.TTFTAttainment,
+						TPOTAttain: res.Summary.TPOTAttainment,
+					}, nil
+				})
 			}
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig 12: SLO attainment under different allocations (OPT-13B, ShareGPT)")
+	tw := table(w)
+	fmt.Fprintln(tw, "placement\trate\tsystem\tSLO\tTTFT-only\tTPOT-only")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\t%s\t%s\t%s\n", row.Placement, row.Rate, row.System,
+			pctStr(row.Attainment), pctStr(row.TTFTAttain), pctStr(row.TPOTAttain))
 	}
 	return rows, tw.Flush()
 }
@@ -639,10 +698,6 @@ type Fig13Row struct {
 // side saturates first), so that is where rescheduling is load-bearing.
 func ExpFig13(o Options, w io.Writer) ([]Fig13Row, error) {
 	o = o.withDefaults()
-	var rows []Fig13Row
-	fmt.Fprintln(w, "Fig 13: ablation studies (OPT-13B)")
-	tw := table(w)
-	fmt.Fprintln(tw, "study\trate\tsystem\tTTFT p99 (ms)\tTPOT p99 (ms)")
 	studies := []struct {
 		name        string
 		dataset     workload.Dataset
@@ -653,6 +708,7 @@ func ExpFig13(o Options, w io.Writer) ([]Fig13Row, error) {
 		{"no-split", workload.LongBench(), []float64{1.0, 1.5, 2.0}, perf.Placement{TP: 2, PP: 1}, serve.RunWindServeNoSplit},
 		{"no-resche", workload.ShareGPT(), []float64{2, 3, 4}, perf.Placement{TP: 1, PP: 1}, serve.RunWindServeNoResched},
 	}
+	var thunks []func() (Fig13Row, error)
 	for _, st := range studies {
 		sc := scenario{model: model.OPT13B, dataset: st.dataset, rates: st.rates}
 		for _, rate := range st.rates {
@@ -665,19 +721,30 @@ func ExpFig13(o Options, w io.Writer) ([]Fig13Row, error) {
 			for _, run := range []func(serve.Config, []workload.Request) (*serve.Result, error){
 				serve.RunWindServe, st.variant,
 			} {
-				res, err := run(cfg, reqs)
-				if err != nil {
-					return nil, err
-				}
-				row := Fig13Row{
-					Study: st.name, Rate: rate, System: res.System,
-					TTFTP99Ms: res.Summary.TTFTP99.Milliseconds(),
-					TPOTP99Ms: res.Summary.TPOTP99.Milliseconds(),
-				}
-				rows = append(rows, row)
-				fmt.Fprintf(tw, "%s\t%.2f\t%s\t%.1f\t%.1f\n", row.Study, rate, row.System, row.TTFTP99Ms, row.TPOTP99Ms)
+				st, rate, run := st, rate, run
+				thunks = append(thunks, func() (Fig13Row, error) {
+					res, err := run(cfg, reqs)
+					if err != nil {
+						return Fig13Row{}, err
+					}
+					return Fig13Row{
+						Study: st.name, Rate: rate, System: res.System,
+						TTFTP99Ms: res.Summary.TTFTP99.Milliseconds(),
+						TPOTP99Ms: res.Summary.TPOTP99.Milliseconds(),
+					}, nil
+				})
 			}
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig 13: ablation studies (OPT-13B)")
+	tw := table(w)
+	fmt.Fprintln(tw, "study\trate\tsystem\tTTFT p99 (ms)\tTPOT p99 (ms)")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\t%.1f\t%.1f\n", row.Study, row.Rate, row.System, row.TTFTP99Ms, row.TPOTP99Ms)
 	}
 	return rows, tw.Flush()
 }

@@ -6,6 +6,7 @@ import (
 
 	"windserve/internal/gpu"
 	"windserve/internal/model"
+	"windserve/internal/par"
 	"windserve/internal/perf"
 	"windserve/internal/serve"
 	"windserve/internal/stats"
@@ -40,55 +41,64 @@ type HeteroRow struct {
 // and report cost-normalized goodput. (Extension — not a paper exhibit.)
 func ExpHetero(o Options, w io.Writer) ([]HeteroRow, error) {
 	o = o.withDefaults()
-	fmt.Fprintln(w, "Extension (paper §7): heterogeneous prefill hardware under WindServe (OPT-13B, ShareGPT)")
-	tw := table(w)
-	fmt.Fprintln(tw, "deployment\trate\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)\tcluster $\tgoodput per k$")
-	var rows []HeteroRow
+	// Each job builds its own topology: runs never share mutable state.
 	deployments := []struct {
 		name string
-		topo *gpu.Topology
+		topo func() *gpu.Topology
 		cost float64
 	}{
 		{
 			name: "4x A800 (paper baseline)",
-			topo: gpu.HomogeneousTestbed(4, gpu.A800),
+			topo: func() *gpu.Topology { return gpu.HomogeneousTestbed(4, gpu.A800) },
 			cost: 4 * priceA800,
 		},
 		{
 			// 4090s prefill over PCIe (no NVLink); A800 pair decodes.
 			name: "2x RTX4090 prefill + 2x A800 decode",
-			topo: gpu.MixedTestbed(gpu.RTX4090, 2, false, gpu.A800, 2, true),
+			topo: func() *gpu.Topology { return gpu.MixedTestbed(gpu.RTX4090, 2, false, gpu.A800, 2, true) },
 			cost: 2*priceRTX4090 + 2*priceA800,
 		},
 	}
+	var thunks []func() (HeteroRow, error)
 	for _, rate := range []float64{2, 3, 4} {
 		for _, dep := range deployments {
-			cfg, err := serve.DefaultConfig(model.OPT13B)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Topo = dep.topo
-			gpus := float64(cfg.TotalGPUs())
-			g := workload.NewGenerator(workload.ShareGPT(), workload.PoissonArrivals{Rate: rate * gpus}, o.Seed)
-			res, err := serve.RunWindServe(cfg, g.Generate(o.Requests))
-			if err != nil {
-				return nil, fmt.Errorf("bench: hetero %s: %w", dep.name, err)
-			}
-			s := res.Summary
-			row := HeteroRow{
-				Deployment:        dep.name,
-				Rate:              rate,
-				Attainment:        s.Attainment,
-				TTFTP50Ms:         s.TTFTP50.Milliseconds(),
-				TPOTP99Ms:         s.TPOTP99.Milliseconds(),
-				ClusterCost:       dep.cost,
-				GoodputPerKiloUSD: s.ThroughputRPS * s.Attainment / (dep.cost / 1000),
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(tw, "%s\t%.1f\t%s\t%.1f\t%.1f\t$%.0f\t%.3f\n",
-				row.Deployment, rate, pctStr(row.Attainment), row.TTFTP50Ms, row.TPOTP99Ms,
-				row.ClusterCost, row.GoodputPerKiloUSD)
+			rate, dep := rate, dep
+			thunks = append(thunks, func() (HeteroRow, error) {
+				cfg, err := serve.DefaultConfig(model.OPT13B)
+				if err != nil {
+					return HeteroRow{}, err
+				}
+				cfg.Topo = dep.topo()
+				gpus := float64(cfg.TotalGPUs())
+				g := workload.NewGenerator(workload.ShareGPT(), workload.PoissonArrivals{Rate: rate * gpus}, o.Seed)
+				res, err := serve.RunWindServe(cfg, g.Generate(o.Requests))
+				if err != nil {
+					return HeteroRow{}, fmt.Errorf("bench: hetero %s: %w", dep.name, err)
+				}
+				s := res.Summary
+				return HeteroRow{
+					Deployment:        dep.name,
+					Rate:              rate,
+					Attainment:        s.Attainment,
+					TTFTP50Ms:         s.TTFTP50.Milliseconds(),
+					TPOTP99Ms:         s.TPOTP99.Milliseconds(),
+					ClusterCost:       dep.cost,
+					GoodputPerKiloUSD: s.ThroughputRPS * s.Attainment / (dep.cost / 1000),
+				}, nil
+			})
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Extension (paper §7): heterogeneous prefill hardware under WindServe (OPT-13B, ShareGPT)")
+	tw := table(w)
+	fmt.Fprintln(tw, "deployment\trate\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)\tcluster $\tgoodput per k$")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%.1f\t%.1f\t$%.0f\t%.3f\n",
+			row.Deployment, row.Rate, pctStr(row.Attainment), row.TTFTP50Ms, row.TPOTP99Ms,
+			row.ClusterCost, row.GoodputPerKiloUSD)
 	}
 	return rows, tw.Flush()
 }
@@ -120,69 +130,69 @@ func ExpDesignAblations(o Options, w io.Writer) ([]AblationRow, error) {
 	}
 	cfg.DecodePlace = perf.Placement{TP: 1, PP: 1}
 	reqs := sc.trace(rate, cfg, o)
-	var rows []AblationRow
-	fmt.Fprintln(w, "Design ablations (OPT-13B, ShareGPT @ 3 req/s/GPU, [TP-2,TP-1], WindServe)")
-	tw := table(w)
-	fmt.Fprintln(tw, "knob\tsetting\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)\tnotes")
 
-	run := func(knob, setting string, mut func(*serve.Config)) error {
+	// The knob grid, in print order. Each job copies cfg before mutating,
+	// so the shared base config and trace stay read-only under the pool.
+	type spec struct {
+		knob, setting string
+		mut           func(*serve.Config)
+	}
+	specs := []spec{
+		{"baseline", "defaults", nil},
+	}
+	for _, thr := range []int{16, 256, 1024} {
+		thr := thr
+		specs = append(specs, spec{"drain-threshold", fmt.Sprintf("%d tokens", thr), func(c *serve.Config) {
+			c.Wind.Resched.DrainThresholdTokens = thr
+		}})
+	}
+	specs = append(specs, spec{"backups", "disabled", func(c *serve.Config) {
+		c.Wind.DisableBackup = true
+	}})
+	for _, wm := range []float64{0.02, 0.20} {
+		wm := wm
+		specs = append(specs, spec{"watermark", fmt.Sprintf("%.2f free", wm), func(c *serve.Config) {
+			c.Wind.Resched.LowWatermark = wm
+			if c.Wind.Resched.TargetFree <= wm {
+				c.Wind.Resched.TargetFree = wm + 0.1
+			}
+		}})
+	}
+	for _, mc := range []int{1, 8} {
+		mc := mc
+		specs = append(specs, spec{"max-migrations", fmt.Sprintf("%d", mc), func(c *serve.Config) {
+			c.Wind.Resched.MaxConcurrentMigrations = mc
+		}})
+	}
+
+	rows, err := par.Map(o.pool(), specs, func(_ int, sp spec) (AblationRow, error) {
 		c := cfg
-		if mut != nil {
-			mut(&c)
+		if sp.mut != nil {
+			sp.mut(&c)
 		}
 		res, err := serve.RunWindServe(c, reqs)
 		if err != nil {
-			return err
+			return AblationRow{}, err
 		}
 		s := res.Summary
-		row := AblationRow{
-			Knob: knob, Setting: setting,
+		return AblationRow{
+			Knob: sp.knob, Setting: sp.setting,
 			Attainment: s.Attainment,
 			TPOTP99Ms:  s.TPOTP99.Milliseconds(),
 			TTFTP50Ms:  s.TTFTP50.Milliseconds(),
 			Extra: fmt.Sprintf("resched=%d backups=%d swaps=%d",
 				res.Rescheduled, res.Backups, res.DecodeKV.SwapOutEvents),
-		}
-		rows = append(rows, row)
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%.1f\t%s\n", knob, setting,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Design ablations (OPT-13B, ShareGPT @ 3 req/s/GPU, [TP-2,TP-1], WindServe)")
+	tw := table(w)
+	fmt.Fprintln(tw, "knob\tsetting\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)\tnotes")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%.1f\t%s\n", row.Knob, row.Setting,
 			pctStr(row.Attainment), row.TTFTP50Ms, row.TPOTP99Ms, row.Extra)
-		return nil
-	}
-
-	if err := run("baseline", "defaults", nil); err != nil {
-		return nil, err
-	}
-	for _, thr := range []int{16, 256, 1024} {
-		thr := thr
-		if err := run("drain-threshold", fmt.Sprintf("%d tokens", thr), func(c *serve.Config) {
-			c.Wind.Resched.DrainThresholdTokens = thr
-		}); err != nil {
-			return nil, err
-		}
-	}
-	if err := run("backups", "disabled", func(c *serve.Config) {
-		c.Wind.DisableBackup = true
-	}); err != nil {
-		return nil, err
-	}
-	for _, wm := range []float64{0.02, 0.20} {
-		wm := wm
-		if err := run("watermark", fmt.Sprintf("%.2f free", wm), func(c *serve.Config) {
-			c.Wind.Resched.LowWatermark = wm
-			if c.Wind.Resched.TargetFree <= wm {
-				c.Wind.Resched.TargetFree = wm + 0.1
-			}
-		}); err != nil {
-			return nil, err
-		}
-	}
-	for _, mc := range []int{1, 8} {
-		mc := mc
-		if err := run("max-migrations", fmt.Sprintf("%d", mc), func(c *serve.Config) {
-			c.Wind.Resched.MaxConcurrentMigrations = mc
-		}); err != nil {
-			return nil, err
-		}
 	}
 	return rows, tw.Flush()
 }
@@ -210,32 +220,39 @@ func ExpVictimPolicy(o Options, w io.Writer) ([]VictimRow, error) {
 	cfg.DecodePlace = perf.Placement{TP: 1, PP: 1}
 	sc := chatbot13B()
 	reqs := sc.trace(3, cfg, o)
-	fmt.Fprintln(w, "Victim selection: WindServe (longest-first) vs Llumnix-style (shortest-first)")
-	fmt.Fprintln(w, "(OPT-13B, ShareGPT @ 3 req/s/GPU, [TP-2, TP-1])")
-	tw := table(w)
-	fmt.Fprintln(tw, "policy\tmigrations\tmigrated+backup GB\tSLO\tTPOT p99 (ms)")
-	var rows []VictimRow
-	for _, pol := range []struct {
+	policies := []struct {
 		name  string
 		short bool
 	}{
 		{"longest-first (WindServe)", false},
 		{"shortest-first (Llumnix)", true},
-	} {
+	}
+	rows, err := par.Map(o.pool(), policies, func(_ int, pol struct {
+		name  string
+		short bool
+	}) (VictimRow, error) {
 		c := cfg
 		c.Wind.Resched.PreferShortVictims = pol.short
 		res, err := serve.RunWindServe(c, reqs)
 		if err != nil {
-			return nil, err
+			return VictimRow{}, err
 		}
-		row := VictimRow{
+		return VictimRow{
 			Policy:      pol.name,
 			Rescheduled: res.Rescheduled,
 			MigrationGB: res.MigrationGB,
 			Attainment:  res.Summary.Attainment,
 			TPOTP99Ms:   res.Summary.TPOTP99.Milliseconds(),
-		}
-		rows = append(rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Victim selection: WindServe (longest-first) vs Llumnix-style (shortest-first)")
+	fmt.Fprintln(w, "(OPT-13B, ShareGPT @ 3 req/s/GPU, [TP-2, TP-1])")
+	tw := table(w)
+	fmt.Fprintln(tw, "policy\tmigrations\tmigrated+backup GB\tSLO\tTPOT p99 (ms)")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\t%.1f\n", row.Policy, row.Rescheduled,
 			row.MigrationGB, pctStr(row.Attainment), row.TPOTP99Ms)
 	}
@@ -269,16 +286,13 @@ func ExpShift(o Options, w io.Writer) ([]ShiftRow, error) {
 	reqs := workload.Concat(low, high, 0)
 	shiftAt := reqs[n1].Arrival
 
-	fmt.Fprintln(w, "Load step: 2 → 5 req/s/GPU mid-trace (OPT-13B, ShareGPT)")
-	tw := table(w)
-	fmt.Fprintln(tw, "system\tphase-1 SLO\tphase-2 SLO\tphase-2 TTFT p50 (ms)")
-	var rows []ShiftRow
-	for _, run := range []func(serve.Config, []workload.Request) (*serve.Result, error){
+	runs := []func(serve.Config, []workload.Request) (*serve.Result, error){
 		serve.RunDistServe, serve.RunWindServe,
-	} {
+	}
+	rows, err := par.Map(o.pool(), runs, func(_ int, run func(serve.Config, []workload.Request) (*serve.Result, error)) (ShiftRow, error) {
 		res, err := run(cfg, reqs)
 		if err != nil {
-			return nil, err
+			return ShiftRow{}, err
 		}
 		var p1Meet, p1N, p2Meet, p2N int
 		var p2TTFT []float64
@@ -305,7 +319,15 @@ func ExpShift(o Options, w io.Writer) ([]ShiftRow, error) {
 			row.Phase2Attain = float64(p2Meet) / float64(p2N)
 			row.Phase2TTFTP50Ms = stats.Percentile(p2TTFT, 50) * 1e3
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Load step: 2 → 5 req/s/GPU mid-trace (OPT-13B, ShareGPT)")
+	tw := table(w)
+	fmt.Fprintln(tw, "system\tphase-1 SLO\tphase-2 SLO\tphase-2 TTFT p50 (ms)")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\n", row.System,
 			pctStr(row.Phase1Attain), pctStr(row.Phase2Attain), row.Phase2TTFTP50Ms)
 	}
@@ -334,24 +356,28 @@ func ExpMixed(o Options, w io.Writer) ([]MixedRow, error) {
 	ds := workload.Mixture(workload.ShareGPT(), workload.LongBench(), 0.5, cfg.Model.MaxContext)
 	g := workload.NewGenerator(ds, workload.PoissonArrivals{Rate: 1.5 * float64(cfg.TotalGPUs())}, o.Seed)
 	reqs := g.Generate(o.Requests)
-	fmt.Fprintf(w, "Mixed workload: %s on LLaMA2-13B @ 1.5 req/s/GPU\n", ds.Name)
-	tw := table(w)
-	fmt.Fprintln(tw, "system\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)")
-	var rows []MixedRow
-	for _, run := range []func(serve.Config, []workload.Request) (*serve.Result, error){
+	runs := []func(serve.Config, []workload.Request) (*serve.Result, error){
 		serve.RunVLLM, serve.RunDistServe, serve.RunWindServe,
-	} {
+	}
+	rows, err := par.Map(o.pool(), runs, func(_ int, run func(serve.Config, []workload.Request) (*serve.Result, error)) (MixedRow, error) {
 		res, err := run(cfg, reqs)
 		if err != nil {
-			return nil, err
+			return MixedRow{}, err
 		}
-		row := MixedRow{
+		return MixedRow{
 			System:     res.System,
 			Attainment: res.Summary.Attainment,
 			TTFTP50Ms:  res.Summary.TTFTP50.Milliseconds(),
 			TPOTP99Ms:  res.Summary.TPOTP99.Milliseconds(),
-		}
-		rows = append(rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Mixed workload: %s on LLaMA2-13B @ 1.5 req/s/GPU\n", ds.Name)
+	tw := table(w)
+	fmt.Fprintln(tw, "system\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)")
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\n", row.System, pctStr(row.Attainment), row.TTFTP50Ms, row.TPOTP99Ms)
 	}
 	return rows, tw.Flush()
@@ -376,10 +402,9 @@ type ScaleRow struct {
 // exhibit.)
 func ExpScale(o Options, w io.Writer) ([]ScaleRow, error) {
 	o = o.withDefaults()
-	fmt.Fprintln(w, "Linear scaling across instance counts (OPT-13B, ShareGPT, WindServe vs DistServe)")
-	tw := table(w)
-	fmt.Fprintln(tw, "deployment\trate/GPU\tsystem\tSLO\tTTFT p50 (ms)\tdispatched")
-	var rows []ScaleRow
+	// Configs and traces per (deployment, rate) are built serially; the
+	// flattened (deployment × rate × system) runs fan out on the pool.
+	var thunks []func() (ScaleRow, error)
 	for _, dep := range []struct {
 		name   string
 		np, nd int
@@ -400,22 +425,33 @@ func ExpScale(o Options, w io.Writer) ([]ScaleRow, error) {
 				name string
 				run  func(serve.Config, []workload.Request) (*serve.Result, error)
 			}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
+				dep, rate, cfg, reqs := dep, rate, cfg, reqs
 				name, run := sys.name, sys.run
-				res, err := run(cfg, reqs)
-				if err != nil {
-					return nil, fmt.Errorf("bench: scale %s %s: %w", dep.name, name, err)
-				}
-				row := ScaleRow{
-					Deployment: dep.name, GPUs: cfg.TotalGPUs(), Rate: rate, System: res.System,
-					Attainment: res.Summary.Attainment,
-					TTFTP50Ms:  res.Summary.TTFTP50.Milliseconds(),
-					Dispatched: res.Dispatched,
-				}
-				rows = append(rows, row)
-				fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%.1f\t%d\n", row.Deployment, rate, row.System,
-					pctStr(row.Attainment), row.TTFTP50Ms, row.Dispatched)
+				thunks = append(thunks, func() (ScaleRow, error) {
+					res, err := run(cfg, reqs)
+					if err != nil {
+						return ScaleRow{}, fmt.Errorf("bench: scale %s %s: %w", dep.name, name, err)
+					}
+					return ScaleRow{
+						Deployment: dep.name, GPUs: cfg.TotalGPUs(), Rate: rate, System: res.System,
+						Attainment: res.Summary.Attainment,
+						TTFTP50Ms:  res.Summary.TTFTP50.Milliseconds(),
+						Dispatched: res.Dispatched,
+					}, nil
+				})
 			}
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Linear scaling across instance counts (OPT-13B, ShareGPT, WindServe vs DistServe)")
+	tw := table(w)
+	fmt.Fprintln(tw, "deployment\trate/GPU\tsystem\tSLO\tTTFT p50 (ms)\tdispatched")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%.1f\t%d\n", row.Deployment, row.Rate, row.System,
+			pctStr(row.Attainment), row.TTFTP50Ms, row.Dispatched)
 	}
 	return rows, tw.Flush()
 }
@@ -440,25 +476,28 @@ func ExpChunkSize(o Options, w io.Writer) ([]ChunkRow, error) {
 	}
 	sc := chatbot13B()
 	reqs := sc.trace(3, cfg, o)
-	fmt.Fprintln(w, "Chunked-prefill chunk-size trade-off (vLLM, OPT-13B, ShareGPT @ 3 req/s/GPU)")
-	tw := table(w)
-	fmt.Fprintln(tw, "chunk\tTTFT p50 (ms)\tTPOT p99 (ms)\tSLO")
-	var rows []ChunkRow
-	for _, chunk := range []int{128, 256, 512, 1024, 2048} {
+	rows, err := par.Map(o.pool(), []int{128, 256, 512, 1024, 2048}, func(_ int, chunk int) (ChunkRow, error) {
 		c := cfg
 		c.ChunkSize = chunk
 		res, err := serve.RunVLLM(c, reqs)
 		if err != nil {
-			return nil, err
+			return ChunkRow{}, err
 		}
-		row := ChunkRow{
+		return ChunkRow{
 			ChunkSize:  chunk,
 			TTFTP50Ms:  res.Summary.TTFTP50.Milliseconds(),
 			TPOTP99Ms:  res.Summary.TPOTP99.Milliseconds(),
 			Attainment: res.Summary.Attainment,
-		}
-		rows = append(rows, row)
-		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%s\n", chunk, row.TTFTP50Ms, row.TPOTP99Ms, pctStr(row.Attainment))
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Chunked-prefill chunk-size trade-off (vLLM, OPT-13B, ShareGPT @ 3 req/s/GPU)")
+	tw := table(w)
+	fmt.Fprintln(tw, "chunk\tTTFT p50 (ms)\tTPOT p99 (ms)\tSLO")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%s\n", row.ChunkSize, row.TTFTP50Ms, row.TPOTP99Ms, pctStr(row.Attainment))
 	}
 	return rows, tw.Flush()
 }
@@ -484,10 +523,9 @@ func ExpBurst(o Options, w io.Writer) ([]BurstRow, error) {
 	}
 	gpus := float64(cfg.TotalGPUs())
 	const rate = 3
-	fmt.Fprintln(w, "Burst robustness (OPT-13B, ShareGPT, mean 3 req/s/GPU)")
-	tw := table(w)
-	fmt.Fprintln(tw, "arrivals\tsystem\tSLO\tTTFT p99 (ms)\tdispatched")
-	var rows []BurstRow
+	// Traces per arrival process are generated serially; the flattened
+	// (process × system) runs fan out on the pool.
+	var thunks []func() (BurstRow, error)
 	for _, proc := range []workload.ArrivalProcess{
 		workload.PoissonArrivals{Rate: rate * gpus},
 		workload.BurstyArrivals{Rate: rate * gpus, BurstProb: 0.3, BurstFactor: 6},
@@ -498,22 +536,33 @@ func ExpBurst(o Options, w io.Writer) ([]BurstRow, error) {
 			name string
 			run  func(serve.Config, []workload.Request) (*serve.Result, error)
 		}{{"DistServe", serve.RunDistServe}, {"WindServe", serve.RunWindServe}} {
+			proc, reqs := proc, reqs
 			name, run := sys.name, sys.run
-			res, err := run(cfg, reqs)
-			if err != nil {
-				return nil, fmt.Errorf("bench: burst %s: %w", name, err)
-			}
-			row := BurstRow{
-				Process:    proc.Name(),
-				System:     res.System,
-				Attainment: res.Summary.Attainment,
-				TTFTP99Ms:  res.Summary.TTFTP99.Milliseconds(),
-				Dispatched: res.Dispatched,
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%d\n", row.Process, row.System,
-				pctStr(row.Attainment), row.TTFTP99Ms, row.Dispatched)
+			thunks = append(thunks, func() (BurstRow, error) {
+				res, err := run(cfg, reqs)
+				if err != nil {
+					return BurstRow{}, fmt.Errorf("bench: burst %s: %w", name, err)
+				}
+				return BurstRow{
+					Process:    proc.Name(),
+					System:     res.System,
+					Attainment: res.Summary.Attainment,
+					TTFTP99Ms:  res.Summary.TTFTP99.Milliseconds(),
+					Dispatched: res.Dispatched,
+				}, nil
+			})
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Burst robustness (OPT-13B, ShareGPT, mean 3 req/s/GPU)")
+	tw := table(w)
+	fmt.Fprintln(tw, "arrivals\tsystem\tSLO\tTTFT p99 (ms)\tdispatched")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%d\n", row.Process, row.System,
+			pctStr(row.Attainment), row.TTFTP99Ms, row.Dispatched)
 	}
 	return rows, tw.Flush()
 }

@@ -57,10 +57,9 @@ func ExpResilience(o Options, w io.Writer, plan *fault.Plan) ([]ResilienceRow, e
 		return nil, err
 	}
 
-	fmt.Fprintf(w, "Fault injection (OPT-13B, ShareGPT @ %.1f req/s/GPU, [1P,2D], plan %q)\n", rate, plan.String())
-	tw := table(w)
-	fmt.Fprintln(tw, "system\tplan\tgoodput (rps)\tSLO\tcompleted\taborted\trejected\trecovered\tunfinished")
-	var rows []ResilienceRow
+	// The validated plan and trace are shared read-only across the six
+	// (system × {clean, faulted}) runs fanned out on the pool.
+	var thunks []func() (ResilienceRow, error)
 	for _, sys := range []struct {
 		name string
 		run  func(serve.Config, []workload.Request) (*serve.Result, error)
@@ -70,27 +69,38 @@ func ExpResilience(o Options, w io.Writer, plan *fault.Plan) ([]ResilienceRow, e
 		{"WindServe", serve.RunWindServe},
 	} {
 		for _, faulted := range []bool{false, true} {
-			c := cfg
-			label := "none"
-			if faulted {
-				c.Faults = plan
-				label = fmt.Sprint(plan)
-			}
-			res, err := sys.run(c, reqs)
-			if err != nil {
-				return nil, fmt.Errorf("bench: resilience %s: %w", sys.name, err)
-			}
-			row := ResilienceRow{
-				System: res.System, Plan: label,
-				GoodputRPS: res.Summary.GoodputRPS, Attainment: res.Summary.Attainment,
-				Completed: len(res.Records), Aborted: res.Aborted, Rejected: res.Rejected,
-				Recovered: res.Recovered, Unfinished: res.Unfinished,
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%s\t%d\t%d\t%d\t%d\t%d\n",
-				row.System, row.Plan, row.GoodputRPS, pctStr(row.Attainment),
-				row.Completed, row.Aborted, row.Rejected, row.Recovered, row.Unfinished)
+			name, run, faulted := sys.name, sys.run, faulted
+			thunks = append(thunks, func() (ResilienceRow, error) {
+				c := cfg
+				label := "none"
+				if faulted {
+					c.Faults = plan
+					label = fmt.Sprint(plan)
+				}
+				res, err := run(c, reqs)
+				if err != nil {
+					return ResilienceRow{}, fmt.Errorf("bench: resilience %s: %w", name, err)
+				}
+				return ResilienceRow{
+					System: res.System, Plan: label,
+					GoodputRPS: res.Summary.GoodputRPS, Attainment: res.Summary.Attainment,
+					Completed: len(res.Records), Aborted: res.Aborted, Rejected: res.Rejected,
+					Recovered: res.Recovered, Unfinished: res.Unfinished,
+				}, nil
+			})
 		}
+	}
+	rows, err := fanOut(o, thunks)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Fault injection (OPT-13B, ShareGPT @ %.1f req/s/GPU, [1P,2D], plan %q)\n", rate, plan.String())
+	tw := table(w)
+	fmt.Fprintln(tw, "system\tplan\tgoodput (rps)\tSLO\tcompleted\taborted\trejected\trecovered\tunfinished")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			row.System, row.Plan, row.GoodputRPS, pctStr(row.Attainment),
+			row.Completed, row.Aborted, row.Rejected, row.Recovered, row.Unfinished)
 	}
 	return rows, tw.Flush()
 }

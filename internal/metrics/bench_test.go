@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+
+	"windserve/internal/sim"
+)
+
+func syntheticRecords(n int) []*Record {
+	recs := make([]*Record, n)
+	for i := 0; i < n; i++ {
+		arr := sim.Time(float64(i) * 0.25)
+		first := arr.Add(sim.Milliseconds(80 + float64(i%37)))
+		recs[i] = &Record{
+			ID: uint64(i), PromptTokens: 200 + i%300, OutputTokens: 64 + i%128,
+			Emitted: 64 + i%128, Arrival: arr, PrefillStart: arr.Add(sim.Milliseconds(5)),
+			FirstToken: first, DecodeStart: first.Add(sim.Milliseconds(12)),
+			Completion: first.Add(sim.Seconds(2 + float64(i%11)/10)),
+			done:       true,
+		}
+	}
+	return recs
+}
+
+// BenchmarkSummarize measures the per-row digest — called once per
+// (system, rate) point of every sweep exhibit.
+func BenchmarkSummarize(b *testing.B) {
+	recs := syntheticRecords(600)
+	slo := SLO{TTFT: sim.Milliseconds(250), TPOT: sim.Milliseconds(100)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(recs, slo)
+	}
+}
+
+// BenchmarkOpenIDs measures the fault-recovery sampling frame: sorted
+// in-flight ids under a realistically sized open set.
+func BenchmarkOpenIDs(b *testing.B) {
+	rec := NewRecorder()
+	for i := 0; i < 512; i++ {
+		rec.Arrive(uint64(i*7919%100000), 100, 50, sim.Time(float64(i)*0.01))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.OpenIDs()
+	}
+}
+
+// TestOpenIDsScratchReuse pins the no-allocation property after warm-up.
+func TestOpenIDsScratchReuse(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 100; i++ {
+		rec.Arrive(uint64(100-i), 10, 10, sim.Time(float64(i)))
+	}
+	ids := rec.OpenIDs() // warm the scratch
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ids not strictly ascending at %d: %d >= %d", i, ids[i-1], ids[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { rec.OpenIDs() })
+	if allocs > 0 {
+		t.Fatalf("OpenIDs allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+}

@@ -10,7 +10,8 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"sync"
 
 	"windserve/internal/sim"
 )
@@ -122,6 +123,10 @@ type Recorder struct {
 	completed []*Record
 	aborted   []*Record
 	rejected  []*Record
+	// idsScratch backs OpenIDs, so the fault-recovery path (which calls
+	// it on every crash and cancellation event) reuses one buffer instead
+	// of allocating and sorting a fresh slice per call.
+	idsScratch []uint64
 }
 
 // NewRecorder returns an empty recorder.
@@ -239,13 +244,19 @@ func (rec *Recorder) HasFirstToken(id uint64) bool {
 }
 
 // OpenIDs returns the in-flight request ids in ascending order — the
-// deterministic sampling frame for client-cancellation faults.
+// deterministic sampling frame for client-cancellation faults. The
+// returned slice is the recorder's scratch buffer: it stays valid only
+// until the next OpenIDs call, and callers must not retain it.
 func (rec *Recorder) OpenIDs() []uint64 {
-	ids := make([]uint64, 0, len(rec.open))
+	ids := rec.idsScratch[:0]
+	if cap(ids) < len(rec.open) {
+		ids = make([]uint64, 0, len(rec.open))
+	}
 	for id := range rec.open {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	rec.idsScratch = ids
 	return ids
 }
 
@@ -277,16 +288,35 @@ type Summary struct {
 	TokensPerSec float64 // output tokens per second of span
 }
 
+// summarizeScratch pools the percentile sort buffers Summarize fills and
+// discards on every call — one call per printed row and per run, and the
+// parallel experiment runner summarizes several runs concurrently, so the
+// scratch is a sync.Pool rather than package-level state.
+var summarizeScratch = sync.Pool{New: func() any { return new(scratchBufs) }}
+
+type scratchBufs struct{ ttft, tpot, dq []float64 }
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // Summarize digests the completed records against an SLO.
 func Summarize(records []*Record, slo SLO) Summary {
 	if len(records) == 0 {
 		return Summary{}
 	}
 	n := len(records)
-	ttft := make([]float64, n)
-	tpot := make([]float64, n)
+	sc := summarizeScratch.Get().(*scratchBufs)
+	defer summarizeScratch.Put(sc)
+	sc.ttft = grow(sc.ttft, n)
+	sc.tpot = grow(sc.tpot, n)
+	sc.dq = grow(sc.dq, n)
+	ttft, tpot, dq := sc.ttft, sc.tpot, sc.dq
 	var ttftSum, tpotSum, pqSum, dqSum float64
-	dq := make([]float64, n)
 	var meets, meetsTTFT, meetsTPOT int
 	minArr, maxDone := records[0].Arrival, records[0].Completion
 	outTokens := 0
@@ -315,9 +345,9 @@ func Summarize(records []*Record, slo SLO) Summary {
 		}
 		outTokens += r.OutputTokens
 	}
-	sort.Float64s(ttft)
-	sort.Float64s(tpot)
-	sort.Float64s(dq)
+	slices.Sort(ttft)
+	slices.Sort(tpot)
+	slices.Sort(dq)
 	span := maxDone.Sub(minArr).Seconds()
 	s := Summary{
 		Requests: n,

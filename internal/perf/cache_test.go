@@ -1,0 +1,104 @@
+package perf
+
+import (
+	"testing"
+)
+
+// batchShapes is a mix of the shapes engines actually submit: decode-only
+// at varying sizes, whole-prompt prefills, chunked-prefill segments, and
+// hybrid passes. The multi-segment case exercises the cache bypass.
+func batchShapes() []Batch {
+	return []Batch{
+		DecodeOnly(1, 512),
+		DecodeOnly(16, 16*2048),
+		DecodeOnly(64, 64*900),
+		PrefillOnly(128),
+		PrefillOnly(2048),
+		{Prefill: []PrefillSeg{{NewTokens: 512, CtxBefore: 1024}}},
+		{Prefill: []PrefillSeg{{NewTokens: 256}}, DecodeReqs: 12, DecodeSumCtx: 12 * 700},
+		{Prefill: []PrefillSeg{{NewTokens: 128}, {NewTokens: 384, CtxBefore: 512}}, DecodeReqs: 4, DecodeSumCtx: 3000},
+	}
+}
+
+// TestIterTimeCacheEquivalence: the memoized IterTime must return exactly
+// what the uncached computation returns, on first call and on hits.
+func TestIterTimeCacheEquivalence(t *testing.T) {
+	for _, m := range []*CostModel{opt13bTP2(), llama70b()} {
+		ref := MustNew(m.Cfg, m.GPU, m.Place, m.TPLink, m.P)
+		for _, b := range batchShapes() {
+			want := ref.iterTime(b)
+			if got := m.IterTime(b); got != want {
+				t.Errorf("%s %+v: first call %v != uncached %v", m.Cfg.Name, b, got, want)
+			}
+			if got := m.IterTime(b); got != want {
+				t.Errorf("%s %+v: cached call %v != uncached %v", m.Cfg.Name, b, got, want)
+			}
+		}
+	}
+}
+
+// TestIterKeyFor pins cacheability: ≤1 prefill segment is cacheable,
+// more is not, and distinct shapes get distinct keys.
+func TestIterKeyFor(t *testing.T) {
+	if _, ok := iterKeyFor(Batch{Prefill: []PrefillSeg{{NewTokens: 1}, {NewTokens: 2}}}); ok {
+		t.Error("multi-segment batch should not be cacheable")
+	}
+	k1, ok1 := iterKeyFor(DecodeOnly(8, 4096))
+	k2, ok2 := iterKeyFor(DecodeOnly(8, 4097))
+	if !ok1 || !ok2 {
+		t.Fatal("decode-only batches must be cacheable")
+	}
+	if k1 == k2 {
+		t.Error("different sumCtx collapsed to one key")
+	}
+	// A pure decode and a hybrid with a zero-token segment must not alias.
+	k3, _ := iterKeyFor(Batch{Prefill: []PrefillSeg{{}}, DecodeReqs: 8, DecodeSumCtx: 4096})
+	if k1 == k3 {
+		t.Error("prefill-bearing batch aliased with decode-only key")
+	}
+}
+
+// TestIterCacheReset: overflowing the cache resets it and stays correct.
+func TestIterCacheReset(t *testing.T) {
+	m := opt13bTP2()
+	want := m.IterTime(DecodeOnly(3, 3000))
+	for i := 0; i < iterCacheMax+10; i++ {
+		m.IterTime(DecodeOnly(1, 100+i))
+	}
+	if got := m.IterTime(DecodeOnly(3, 3000)); got != want {
+		t.Errorf("after cache reset: %v != %v", got, want)
+	}
+}
+
+// BenchmarkIterTimeCached measures the steady-state engine pattern:
+// repeated decode batches of recurring shapes hitting the memo.
+func BenchmarkIterTimeCached(b *testing.B) {
+	m := opt13bTP2()
+	shapes := make([]Batch, 32)
+	for i := range shapes {
+		shapes[i] = DecodeOnly(8+i%4, (8+i%4)*(600+i*13))
+	}
+	for _, s := range shapes {
+		m.IterTime(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.IterTime(shapes[i%len(shapes)])
+	}
+}
+
+// BenchmarkIterTimeUncached is the same shapes through the raw roofline,
+// the baseline the memo is beating.
+func BenchmarkIterTimeUncached(b *testing.B) {
+	m := opt13bTP2()
+	shapes := make([]Batch, 32)
+	for i := range shapes {
+		shapes[i] = DecodeOnly(8+i%4, (8+i%4)*(600+i*13))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.iterTime(shapes[i%len(shapes)])
+	}
+}

@@ -22,6 +22,7 @@ package perf
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"windserve/internal/gpu"
 	"windserve/internal/model"
@@ -149,12 +150,71 @@ func DecodeOnly(reqs, sumCtx int) Batch {
 }
 
 // CostModel computes iteration times for one (model, GPU, placement).
+//
+// IterTime results are memoized by batch signature, so the configuration
+// fields must not be mutated after the first IterTime call — build a new
+// model (they are cheap) instead of editing one in flight.
 type CostModel struct {
 	Cfg    model.Config
 	GPU    gpu.Spec
 	Place  Placement
 	TPLink gpu.LinkSpec // link used for TP collectives and PP sends
 	P      Params
+
+	iterCache iterCache
+}
+
+// iterKey is the cacheable signature of a forward pass. Decode-only
+// batches (which repeat shapes constantly — the same running set decodes
+// for hundreds of iterations) and single-segment prefill/hybrid batches
+// cover virtually every engine call; multi-segment prefill passes bypass
+// the cache rather than hashing a slice.
+type iterKey struct {
+	hasPrefill           bool
+	newTokens, ctxBefore int32
+	decodeReqs, sumCtx   int32
+}
+
+// iterKeyFor extracts a key, reporting whether the batch is cacheable.
+func iterKeyFor(b Batch) (iterKey, bool) {
+	if len(b.Prefill) > 1 {
+		return iterKey{}, false
+	}
+	k := iterKey{decodeReqs: int32(b.DecodeReqs), sumCtx: int32(b.DecodeSumCtx)}
+	if len(b.Prefill) == 1 {
+		k.hasPrefill = true
+		k.newTokens = int32(b.Prefill[0].NewTokens)
+		k.ctxBefore = int32(b.Prefill[0].CtxBefore)
+	}
+	return k, true
+}
+
+// iterCacheMax bounds the memo; past it the map is reset wholesale (shapes
+// cluster tightly, so a full cache means the run moved to a new regime).
+const iterCacheMax = 1 << 12
+
+// iterCache memoizes IterTime. The mutex makes a model safe to share
+// across the parallel experiment runner's workers, though runs normally
+// build their own.
+type iterCache struct {
+	mu sync.Mutex
+	m  map[iterKey]sim.Duration
+}
+
+func (c *iterCache) get(k iterKey) (sim.Duration, bool) {
+	c.mu.Lock()
+	t, ok := c.m[k]
+	c.mu.Unlock()
+	return t, ok
+}
+
+func (c *iterCache) put(k iterKey, t sim.Duration) {
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= iterCacheMax {
+		c.m = make(map[iterKey]sim.Duration)
+	}
+	c.m[k] = t
+	c.mu.Unlock()
 }
 
 // New builds a cost model, validating the placement.
@@ -249,6 +309,21 @@ func (m *CostModel) IterTime(b Batch) sim.Duration {
 	if b.Empty() {
 		return 0
 	}
+	key, cacheable := iterKeyFor(b)
+	if cacheable {
+		if t, ok := m.iterCache.get(key); ok {
+			return t
+		}
+	}
+	t := m.iterTime(b)
+	if cacheable {
+		m.iterCache.put(key, t)
+	}
+	return t
+}
+
+// iterTime is the uncached roofline computation behind IterTime.
+func (m *CostModel) iterTime(b Batch) sim.Duration {
 	lc := m.layerCost(b)
 	lt := m.layerTime(lc, b.Tokens())
 	total := lt * sim.Duration(m.Cfg.Layers)

@@ -46,12 +46,16 @@ func (d Duration) Milliseconds() float64 { return float64(d) * 1e3 }
 func (t Time) String() string     { return fmt.Sprintf("%.6fs", float64(t)) }
 func (d Duration) String() string { return fmt.Sprintf("%.3fms", float64(d)*1e3) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once fired or
+// cancelled, the struct goes on the simulator's free list and is reused
+// by a later Schedule. gen distinguishes the incarnations, so an EventID
+// held across a recycle can never cancel the wrong event.
 type event struct {
 	at    Time
 	seq   uint64 // tie-breaker: FIFO among same-time events
 	fn    func()
-	index int // heap index, -1 when popped/cancelled
+	index int    // heap index, -1 when popped/cancelled
+	gen   uint64 // incarnation counter, bumped on every recycle
 }
 
 // eventHeap orders events by (at, seq).
@@ -84,8 +88,14 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The id
+// captures the event's incarnation, so holding one past the event's
+// firing (after which the struct may be recycled into an unrelated
+// event) is safe: Cancel on a stale id is a no-op.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // Valid reports whether the id refers to a (possibly already fired) event.
 func (id EventID) Valid() bool { return id.ev != nil }
@@ -98,6 +108,10 @@ type Simulator struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	// free recycles fired/cancelled event structs. Bounded by the peak
+	// number of simultaneously pending events, it eliminates the
+	// per-Schedule heap allocation on the kernel's hottest path.
+	free []*event
 }
 
 // New returns an empty simulator at time 0.
@@ -133,20 +147,41 @@ func (s *Simulator) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.pq, ev)
-	return EventID{ev: ev}
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// alloc takes an event off the free list, or allocates the list's first
+// incarnation of one.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle retires an event to the free list. Bumping gen first
+// invalidates every outstanding EventID for this incarnation.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op and returns false.
 func (s *Simulator) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&s.pq, id.ev.index)
-	id.ev.fn = nil
+	s.recycle(id.ev)
 	return true
 }
 
@@ -165,7 +200,12 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = ev.at
 	s.fired++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before firing: the callback's own Schedule calls may reuse
+	// the struct immediately, and the gen bump keeps any EventID the
+	// callback still holds for *this* firing inert.
+	s.recycle(ev)
+	fn()
 	return true
 }
 

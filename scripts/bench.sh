@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_sim.json: kernel micro-benchmarks (ns/op, allocs/op),
+# per-exhibit regeneration cost, and windbench serial-vs-parallel wall
+# clock. Run from anywhere in the repo:
+#
+#   scripts/bench.sh [output.json]
+#
+# The committed BENCH_sim.json was produced by this script; the host's
+# core count is recorded alongside the numbers, since the parallel
+# speedup is bounded by it (on a 1-core host serial == parallel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_sim.json}
+micro_txt=$(mktemp)
+exhibit_txt=$(mktemp)
+trap 'rm -f "$micro_txt" "$exhibit_txt"' EXIT
+
+echo "== micro-benchmarks (sim, metrics, perf) ==" >&2
+go test -run '^$' -bench 'SimulatorScheduleFire|Summarize|OpenIDs|IterTime' \
+    -benchmem ./internal/sim ./internal/metrics ./internal/perf | tee "$micro_txt" >&2
+
+echo "== exhibit benchmarks (one full regeneration each) ==" >&2
+go test -run '^$' -bench . -benchmem -benchtime 2x . | tee "$exhibit_txt" >&2
+
+echo "== windbench wall clock: serial vs parallel ==" >&2
+go build -o /tmp/windbench.bench ./cmd/windbench
+t0=$(date +%s.%N)
+/tmp/windbench.bench -n 300 -parallel 1 all > /tmp/windbench.serial.txt
+t1=$(date +%s.%N)
+/tmp/windbench.bench -n 300 all > /tmp/windbench.parallel.txt
+t2=$(date +%s.%N)
+cmp /tmp/windbench.serial.txt /tmp/windbench.parallel.txt \
+    || { echo "bench.sh: parallel output differs from serial" >&2; exit 1; }
+serial=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+parallel=$(echo "$t2 $t1" | awk '{printf "%.3f", $1 - $2}')
+echo "serial ${serial}s  parallel ${parallel}s  ($(nproc) cores)" >&2
+
+MICRO="$micro_txt" EXHIBIT="$exhibit_txt" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
+python3 - <<'EOF'
+import json, os, re
+
+def parse(path):
+    rows = []
+    for line in open(path):
+        m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op'
+                     r'(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?', line)
+        if not m:
+            continue
+        row = {"name": m.group(1), "iterations": int(m.group(2)),
+               "ns_per_op": float(m.group(3))}
+        if m.group(5) is not None:
+            row["bytes_per_op"] = float(m.group(4))
+            row["allocs_per_op"] = int(m.group(5))
+        rows.append(row)
+    return rows
+
+serial = float(os.environ["SERIAL"])
+parallel = float(os.environ["PARALLEL"])
+doc = {
+    "description": "Simulation-kernel benchmarks; regenerate with scripts/bench.sh",
+    "host_cores": os.cpu_count(),
+    "micro": parse(os.environ["MICRO"]),
+    "exhibits": parse(os.environ["EXHIBIT"]),
+    "windbench_all": {
+        "args": "-n 300 all",
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "speedup": round(serial / parallel, 3) if parallel else None,
+        "note": "speedup is bounded by host_cores; on a 1-core host the "
+                "pool degenerates to the serial loop and speedup ~= 1",
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f'wrote {os.environ["OUT"]}')
+EOF
