@@ -32,6 +32,8 @@ func run() int {
 	n := flag.Int("n", 600, "requests per simulation run")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per exhibit (0 = GOMAXPROCS); output is byte-identical at any setting")
+	stream := flag.Bool("stream", false, "use the bounded-memory streaming recorder (P² percentile sketches instead of exact percentiles)")
+	maxRecords := flag.Int("maxrecords", 0, "per-class record retention cap with -stream (0 = default 10000)")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
 	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
@@ -45,7 +47,15 @@ func run() int {
 		return 2
 	}
 	par.SetDefault(*parallel)
-	o := bench.Options{Requests: *n, Seed: *seed, Parallel: *parallel}
+	o := bench.Options{Requests: *n, Seed: *seed, Parallel: *parallel,
+		Stream: *stream, MaxRecords: *maxRecords}
+	// ext-mega defaults to a million requests; an explicit -n overrides it.
+	o.MegaRequests = 1_000_000
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			o.MegaRequests = *n
+		}
+	})
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -134,12 +144,18 @@ func run() int {
 		"ext-mixed":     func(w io.Writer) error { _, err := bench.ExpMixed(o, w); return err },
 		"ext-shift":     func(w io.Writer) error { _, err := bench.ExpShift(o, w); return err },
 		"ext-faults":    func(w io.Writer) error { _, err := bench.ExpResilience(o, w, plan); return err },
+		"ext-mega":      func(w io.Writer) error { _, err := bench.ExpMega(o, w); return err },
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
 		for k := range exhibits {
+			// ext-mega's runtime scales with -n (default one million
+			// requests), so it only runs when named explicitly.
+			if k == "ext-mega" {
+				continue
+			}
 			args = append(args, k)
 		}
 		sort.Strings(args)
@@ -237,6 +253,9 @@ extensions (not paper exhibits):
   ext-shift      load step mid-trace (dynamic adaptation vs static planning)
   ext-faults     fault injection: crash/degrade/cancel recovery and load shedding
                  (customize the plan with -faults "crash:d0@60; cancel@90x0.2")
+  ext-mega       million-request horizon: streaming source + bounded-memory
+                 metrics; reports sim req/s and peak heap (not part of "all";
+                 -n overrides the 1,000,000-request default)
 
 flags:
 `)

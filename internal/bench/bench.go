@@ -32,6 +32,16 @@ type Options struct {
 	// RNG, and recorder, and rows are collected in submission order, so
 	// output is byte-identical at any setting.
 	Parallel int
+	// Stream opts every run into the bounded-memory streaming recorder
+	// (serve.Config.Stream): per-class online aggregates and P² percentile
+	// sketches instead of full per-request record retention. Off by
+	// default, keeping the committed exhibits byte-identical.
+	Stream bool
+	// MaxRecords bounds per-class record retention when Stream is set;
+	// <= 0 means metrics.DefaultMaxRecords.
+	MaxRecords int
+	// MegaRequests sizes ExpMega's long-horizon run; <= 0 means 1,000,000.
+	MegaRequests int
 }
 
 // DefaultOptions returns the sizes used for the committed EXPERIMENTS.md.
@@ -49,6 +59,20 @@ func (o Options) withDefaults() Options {
 
 // pool returns the worker pool an exhibit fans its runs across.
 func (o Options) pool() *par.Pool { return par.NewPool(o.Parallel) }
+
+// config builds a model's default serving config with the exhibit's
+// streaming policy applied — the single point where Options.Stream reaches
+// the serve layer.
+func (o Options) config(m model.Config) (serve.Config, error) {
+	cfg, err := serve.DefaultConfig(m)
+	if err != nil {
+		return cfg, err
+	}
+	if o.Stream {
+		cfg.Stream = serve.StreamPolicy{Enabled: true, MaxRecords: o.MaxRecords}
+	}
+	return cfg, nil
+}
 
 // scenario binds a model to its dataset and rate sweep (per-GPU req/s,
 // following the paper's linear scaling rule).
@@ -141,7 +165,7 @@ func runSweep(scs []scenario, o Options, systems map[string]func(serve.Config, [
 	var jobs []job
 	for si, sc := range scs {
 		for _, rate := range sc.rates {
-			cfg, err := serve.DefaultConfig(sc.model)
+			cfg, err := o.config(sc.model)
 			if err != nil {
 				return nil, err
 			}

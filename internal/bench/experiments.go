@@ -116,7 +116,7 @@ func ExpFig2(o Options, w io.Writer) ([]Fig2Row, error) {
 	} {
 		c := c
 		thunks = append(thunks, func() (Fig2Row, error) {
-			cfg, err := serve.DefaultConfig(c.sc.model)
+			cfg, err := o.config(c.sc.model)
 			if err != nil {
 				return Fig2Row{}, err
 			}
@@ -167,7 +167,7 @@ func ExpFig3(o Options, w io.Writer) ([]Fig3Row, error) {
 	} {
 		pl := pl
 		thunks = append(thunks, func() (Fig3Row, error) {
-			cfg, err := serve.DefaultConfig(model.OPT13B)
+			cfg, err := o.config(model.OPT13B)
 			if err != nil {
 				return Fig3Row{}, err
 			}
@@ -255,7 +255,7 @@ func ExpFig5(o Options, w io.Writer) ([]Fig5Row, error) {
 	}
 	var thunks []func() (Fig5Row, error)
 	for _, c := range cases {
-		cfg, err := serve.DefaultConfig(c.sc.model)
+		cfg, err := o.config(c.sc.model)
 		if err != nil {
 			return nil, err
 		}
@@ -638,7 +638,7 @@ func ExpFig12(o Options, w io.Writer) ([]Fig12Row, error) {
 		{"[TP-2, TP-2]", perf.Placement{TP: 2, PP: 1}, []float64{3, 4, 5}},
 	} {
 		for _, rate := range pl.rates {
-			cfg, err := serve.DefaultConfig(model.OPT13B)
+			cfg, err := o.config(model.OPT13B)
 			if err != nil {
 				return nil, err
 			}
@@ -712,7 +712,7 @@ func ExpFig13(o Options, w io.Writer) ([]Fig13Row, error) {
 	for _, st := range studies {
 		sc := scenario{model: model.OPT13B, dataset: st.dataset, rates: st.rates}
 		for _, rate := range st.rates {
-			cfg, err := serve.DefaultConfig(sc.model)
+			cfg, err := o.config(sc.model)
 			if err != nil {
 				return nil, err
 			}

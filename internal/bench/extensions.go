@@ -64,7 +64,7 @@ func ExpHetero(o Options, w io.Writer) ([]HeteroRow, error) {
 		for _, dep := range deployments {
 			rate, dep := rate, dep
 			thunks = append(thunks, func() (HeteroRow, error) {
-				cfg, err := serve.DefaultConfig(model.OPT13B)
+				cfg, err := o.config(model.OPT13B)
 				if err != nil {
 					return HeteroRow{}, err
 				}
@@ -124,7 +124,7 @@ func ExpDesignAblations(o Options, w io.Writer) ([]AblationRow, error) {
 	// decode instance's KV runs dry, so rescheduling (and thus the drain
 	// threshold, watermark and backup knobs) is the active mechanism.
 	const rate = 3
-	cfg, err := serve.DefaultConfig(sc.model)
+	cfg, err := o.config(sc.model)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +213,7 @@ type VictimRow struct {
 // decode allocation. (Extension — not a paper exhibit.)
 func ExpVictimPolicy(o Options, w io.Writer) ([]VictimRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.OPT13B)
+	cfg, err := o.config(model.OPT13B)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +274,7 @@ type ShiftRow struct {
 // exhibit.)
 func ExpShift(o Options, w io.Writer) ([]ShiftRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.OPT13B)
+	cfg, err := o.config(model.OPT13B)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +317,7 @@ func ExpShift(o Options, w io.Writer) ([]ShiftRow, error) {
 		}
 		if p2N > 0 {
 			row.Phase2Attain = float64(p2Meet) / float64(p2N)
-			row.Phase2TTFTP50Ms = stats.Percentile(p2TTFT, 50) * 1e3
+			row.Phase2TTFTP50Ms = stats.PercentilesOf(p2TTFT, 50)[0] * 1e3
 		}
 		return row, nil
 	})
@@ -349,7 +349,7 @@ type MixedRow struct {
 // threshold's token-based load signal. (Extension — not a paper exhibit.)
 func ExpMixed(o Options, w io.Writer) ([]MixedRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.LLaMA213B)
+	cfg, err := o.config(model.LLaMA213B)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +413,7 @@ func ExpScale(o Options, w io.Writer) ([]ScaleRow, error) {
 		{"2 prefill + 2 decode (8 GPUs)", 2, 2},
 	} {
 		for _, rate := range []float64{2, 3, 4} {
-			cfg, err := serve.DefaultConfig(model.OPT13B)
+			cfg, err := o.config(model.OPT13B)
 			if err != nil {
 				return nil, err
 			}
@@ -470,7 +470,7 @@ type ChunkRow struct {
 // ShareGPT at a moderate rate. (Extension — not a paper exhibit.)
 func ExpChunkSize(o Options, w io.Writer) ([]ChunkRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.OPT13B)
+	cfg, err := o.config(model.OPT13B)
 	if err != nil {
 		return nil, err
 	}
@@ -517,7 +517,7 @@ type BurstRow struct {
 // Prefill Dispatch reacts to. (Extension — not a paper exhibit.)
 func ExpBurst(o Options, w io.Writer) ([]BurstRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.OPT13B)
+	cfg, err := o.config(model.OPT13B)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"windserve/internal/model"
+	"windserve/internal/serve"
+	"windserve/internal/workload"
+)
+
+// MegaRow is one long-horizon run's digest: how fast the simulator chews
+// through requests and how much memory it holds while doing so.
+type MegaRow struct {
+	System       string
+	Mode         string // "streaming" or "exact"
+	Requests     int
+	SimSeconds   float64 // virtual time simulated
+	WallSeconds  float64
+	SimReqPerSec float64 // requests simulated per wall-clock second
+	PeakHeapMB   float64 // high-water HeapAlloc over the run
+	Attainment   float64
+	TTFTP50Ms    float64
+	TPOTP99Ms    float64
+}
+
+// heapSampler polls the runtime for the heap high-water mark. ReadMemStats
+// only sees live-after-GC plus currently-allocated bytes, so a 5 ms poll
+// tracks the peak closely enough for a memory-budget exhibit.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	h := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > h.peak.Load() {
+				h.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends sampling and returns the observed peak heap in bytes.
+func (h *heapSampler) Stop() uint64 {
+	close(h.stop)
+	<-h.done
+	return h.peak.Load()
+}
+
+// ExpMega is the million-request horizon exhibit: WindServe and DistServe
+// each serve o.MegaRequests Poisson arrivals (OPT-13B, ShareGPT, a
+// below-capacity 3 req/s/GPU) from a pull-based generator source with the
+// streaming recorder, so neither the trace nor the per-request records are
+// ever materialized. A shorter exact-recorder run rides along to show the
+// heap contrast. Runs are serial — each owns the whole heap so the peak
+// measurement is clean — which also means this exhibit, unlike the sweeps,
+// ignores Options.Parallel. (Extension — not a paper exhibit; excluded
+// from `windbench all` because its runtime scales with MegaRequests.)
+func ExpMega(o Options, w io.Writer) ([]MegaRow, error) {
+	o = o.withDefaults()
+	n := o.MegaRequests
+	if n <= 0 {
+		n = 1_000_000
+	}
+	exactN := n / 10
+	if exactN > 100_000 {
+		exactN = 100_000
+	}
+	if exactN < 1 {
+		exactN = 1
+	}
+	const rate = 3.0 // per-GPU req/s, below OPT-13B capacity
+
+	type job struct {
+		system string
+		run    func(serve.Config, workload.Source) (*serve.Result, error)
+		stream bool
+		n      int
+	}
+	jobs := []job{
+		{"WindServe", serve.RunWindServeFrom, true, n},
+		{"DistServe", serve.RunDistServeFrom, true, n},
+		{"DistServe", serve.RunDistServeFrom, false, exactN},
+	}
+
+	rows := make([]MegaRow, 0, len(jobs))
+	for _, j := range jobs {
+		cfg, err := serve.DefaultConfig(model.OPT13B)
+		if err != nil {
+			return nil, err
+		}
+		if j.stream {
+			cfg.Stream = serve.StreamPolicy{Enabled: true, MaxRecords: o.MaxRecords}
+		}
+		g := workload.NewGenerator(workload.ShareGPT(),
+			workload.PoissonArrivals{Rate: rate * float64(cfg.TotalGPUs())}, o.Seed)
+		src := g.Source(j.n)
+
+		runtime.GC()
+		sampler := startHeapSampler()
+		start := time.Now()
+		res, err := j.run(cfg, src)
+		wall := time.Since(start).Seconds()
+		peak := sampler.Stop()
+		if err != nil {
+			return nil, fmt.Errorf("bench: mega %s: %w", j.system, err)
+		}
+		if res.Requests != j.n {
+			return nil, fmt.Errorf("bench: mega %s: served %d of %d requests", j.system, res.Requests, j.n)
+		}
+		mode := "exact"
+		if j.stream {
+			mode = "streaming"
+		}
+		s := res.Summary
+		rows = append(rows, MegaRow{
+			System: res.System, Mode: mode, Requests: j.n,
+			SimSeconds: float64(res.Elapsed), WallSeconds: wall,
+			SimReqPerSec: float64(j.n) / wall,
+			PeakHeapMB:   float64(peak) / (1 << 20),
+			Attainment:   s.Attainment,
+			TTFTP50Ms:    s.TTFTP50.Milliseconds(),
+			TPOTP99Ms:    s.TPOTP99.Milliseconds(),
+		})
+	}
+
+	fmt.Fprintf(w, "Long-horizon serving: %d Poisson requests (OPT-13B, ShareGPT @ %.0f req/s/GPU)\n", n, rate)
+	tw := table(w)
+	fmt.Fprintln(tw, "system\tmode\trequests\tsim s\twall s\tsim req/s\tpeak heap MB\tSLO\tTTFT p50 (ms)\tTPOT p99 (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.1f\t%.0f\t%.1f\t%s\t%.1f\t%.1f\n",
+			r.System, r.Mode, r.Requests, r.SimSeconds, r.WallSeconds, r.SimReqPerSec,
+			r.PeakHeapMB, pctStr(r.Attainment), r.TTFTP50Ms, r.TPOTP99Ms)
+	}
+	return rows, tw.Flush()
+}

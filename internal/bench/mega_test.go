@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpMegaSmall exercises the long-horizon exhibit end to end at a
+// size CI can afford: all rows complete their requests, streaming rows
+// report plausible rates, and the table prints.
+func TestExpMegaSmall(t *testing.T) {
+	var sb strings.Builder
+	rows, err := ExpMega(Options{Requests: 100, MegaRequests: 3000, Seed: 42}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimReqPerSec <= 0 || r.PeakHeapMB <= 0 || r.SimSeconds <= 0 {
+			t.Errorf("%s/%s: implausible row %+v", r.System, r.Mode, r)
+		}
+	}
+	if rows[0].Requests != 3000 || rows[1].Requests != 3000 {
+		t.Errorf("streaming rows sized %d/%d, want 3000", rows[0].Requests, rows[1].Requests)
+	}
+	if rows[2].Mode != "exact" || rows[2].Requests != 300 {
+		t.Errorf("contrast row = %+v, want exact mode at n/10", rows[2])
+	}
+	if !strings.Contains(sb.String(), "peak heap MB") {
+		t.Errorf("table missing header:\n%s", sb.String())
+	}
+}

@@ -36,7 +36,7 @@ type ResilienceRow struct {
 // the default mid-trace decode crash. (Extension — not a paper exhibit.)
 func ExpResilience(o Options, w io.Writer, plan *fault.Plan) ([]ResilienceRow, error) {
 	o = o.withDefaults()
-	cfg, err := serve.DefaultConfig(model.OPT13B)
+	cfg, err := o.config(model.OPT13B)
 	if err != nil {
 		return nil, err
 	}

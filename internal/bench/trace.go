@@ -29,7 +29,7 @@ type TraceArtifacts struct {
 func ExpTraceCapture(o Options, w io.Writer, plan *fault.Plan) (*TraceArtifacts, error) {
 	o = o.withDefaults()
 	sc := chatbot13B()
-	cfg, err := serve.DefaultConfig(sc.model)
+	cfg, err := o.config(sc.model)
 	if err != nil {
 		return nil, err
 	}

@@ -7,10 +7,12 @@
 package metrics
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"slices"
+	"strconv"
 	"sync"
 
 	"windserve/internal/sim"
@@ -127,9 +129,14 @@ type Recorder struct {
 	// it on every crash and cancellation event) reuses one buffer instead
 	// of allocating and sorting a fresh slice per call.
 	idsScratch []uint64
+	// stream, when non-nil, folds finalized records into online aggregates
+	// and recycles the Record structs past a retention cap, bounding memory
+	// on long horizons. Nil for the exact (default) recorder.
+	stream *streamAgg
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty exact recorder: every finalized record is
+// retained, and Summarize computes exact percentiles over all of them.
 func NewRecorder() *Recorder {
 	return &Recorder{open: make(map[uint64]*Record)}
 }
@@ -138,6 +145,15 @@ func NewRecorder() *Recorder {
 func (rec *Recorder) Arrive(id uint64, prompt, output int, at sim.Time) {
 	if _, ok := rec.open[id]; ok {
 		panic(fmt.Sprintf("metrics: duplicate arrival for request %d", id))
+	}
+	if s := rec.stream; s != nil {
+		if n := len(s.free); n > 0 {
+			r := s.free[n-1]
+			s.free = s.free[:n-1]
+			*r = Record{ID: id, PromptTokens: prompt, OutputTokens: output, Arrival: at}
+			rec.open[id] = r
+			return
+		}
 	}
 	rec.open[id] = &Record{ID: id, PromptTokens: prompt, OutputTokens: output, Arrival: at}
 }
@@ -182,7 +198,12 @@ func (rec *Recorder) Complete(id uint64, at sim.Time) {
 	r.Completion = at
 	r.Emitted = r.OutputTokens
 	r.done = true
-	rec.completed = append(rec.completed, r)
+	if s := rec.stream; s != nil {
+		s.observeCompleted(r)
+		rec.completed = s.retain(rec.completed, r)
+	} else {
+		rec.completed = append(rec.completed, r)
+	}
 	delete(rec.open, id)
 }
 
@@ -203,7 +224,12 @@ func (rec *Recorder) Abort(id uint64, at sim.Time, emitted int) {
 	r.Emitted = emitted
 	r.Outcome = OutcomeAborted
 	r.done = true
-	rec.aborted = append(rec.aborted, r)
+	if s := rec.stream; s != nil {
+		s.observeClass(&s.aborted, r)
+		rec.aborted = s.retain(rec.aborted, r)
+	} else {
+		rec.aborted = append(rec.aborted, r)
+	}
 	delete(rec.open, id)
 }
 
@@ -213,7 +239,12 @@ func (rec *Recorder) Reject(id uint64, at sim.Time) {
 	r.Completion = at
 	r.Outcome = OutcomeRejected
 	r.done = true
-	rec.rejected = append(rec.rejected, r)
+	if s := rec.stream; s != nil {
+		s.observeClass(&s.rejected, r)
+		rec.rejected = s.retain(rec.rejected, r)
+	} else {
+		rec.rejected = append(rec.rejected, r)
+	}
 	delete(rec.open, id)
 }
 
@@ -399,9 +430,13 @@ func pct(sorted []float64, p float64) float64 {
 }
 
 // WriteRecordsCSV emits one line per completed request — the raw material
-// for latency CDFs and scatter plots outside this repo.
+// for latency CDFs and scatter plots outside this repo. Rows are formatted
+// with strconv into one reusable buffer (a single string allocation per
+// row instead of one per field) and written through a large bufio.Writer:
+// on a mega-run export the per-row work, not the disk, is the bottleneck.
 func WriteRecordsCSV(w io.Writer, records []*Record) error {
-	cw := csv.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := csv.NewWriter(bw)
 	if err := cw.Write([]string{
 		"id", "prompt_tokens", "output_tokens",
 		"arrival_s", "prefill_start_s", "first_token_s", "decode_start_s", "completion_s",
@@ -410,30 +445,50 @@ func WriteRecordsCSV(w io.Writer, records []*Record) error {
 	}); err != nil {
 		return err
 	}
+	var row [15]string
+	var marks [16]int
+	buf := make([]byte, 0, 256)
 	for _, r := range records {
-		rec := []string{
-			fmt.Sprintf("%d", r.ID),
-			fmt.Sprintf("%d", r.PromptTokens),
-			fmt.Sprintf("%d", r.OutputTokens),
-			fmt.Sprintf("%.6f", float64(r.Arrival)),
-			fmt.Sprintf("%.6f", float64(r.PrefillStart)),
-			fmt.Sprintf("%.6f", float64(r.FirstToken)),
-			fmt.Sprintf("%.6f", float64(r.DecodeStart)),
-			fmt.Sprintf("%.6f", float64(r.Completion)),
-			fmt.Sprintf("%.4f", r.TTFT().Milliseconds()),
-			fmt.Sprintf("%.4f", r.TPOT().Milliseconds()),
-			fmt.Sprintf("%.4f", r.E2E().Milliseconds()),
-			fmt.Sprintf("%.4f", r.PrefillQueueDelay().Milliseconds()),
-			fmt.Sprintf("%.4f", r.DecodeQueueDelay().Milliseconds()),
-			r.Outcome.String(),
-			fmt.Sprintf("%d", r.tokensOut()),
+		buf = buf[:0]
+		marks[0] = 0
+		appendMark := func(i int) { marks[i+1] = len(buf) }
+		buf = strconv.AppendUint(buf, r.ID, 10)
+		appendMark(0)
+		buf = strconv.AppendInt(buf, int64(r.PromptTokens), 10)
+		appendMark(1)
+		buf = strconv.AppendInt(buf, int64(r.OutputTokens), 10)
+		appendMark(2)
+		for i, t := range [5]float64{
+			float64(r.Arrival), float64(r.PrefillStart), float64(r.FirstToken),
+			float64(r.DecodeStart), float64(r.Completion),
+		} {
+			buf = strconv.AppendFloat(buf, t, 'f', 6, 64)
+			appendMark(3 + i)
 		}
-		if err := cw.Write(rec); err != nil {
+		for i, d := range [5]float64{
+			r.TTFT().Milliseconds(), r.TPOT().Milliseconds(), r.E2E().Milliseconds(),
+			r.PrefillQueueDelay().Milliseconds(), r.DecodeQueueDelay().Milliseconds(),
+		} {
+			buf = strconv.AppendFloat(buf, d, 'f', 4, 64)
+			appendMark(8 + i)
+		}
+		buf = strconv.AppendInt(buf, int64(r.tokensOut()), 10)
+		appendMark(13)
+		line := string(buf)
+		for i := 0; i < 13; i++ {
+			row[i] = line[marks[i]:marks[i+1]]
+		}
+		row[13] = r.Outcome.String()
+		row[14] = line[marks[13]:marks[14]]
+		if err := cw.Write(row[:]); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // Gauge integrates a piecewise-constant value over virtual time — used for
@@ -477,43 +532,98 @@ func (g *Gauge) ObservedTime() sim.Duration { return sim.Seconds(g.total) }
 
 // Series is an append-only time series for plotted quantities (queue
 // depths, free blocks, ...).
+//
+// Setting Cap (>= 2) before the first Append bounds the retained points:
+// once the series fills, resolution halves — adjacent points merge into
+// buckets holding their count-weighted mean, stamped with the bucket's
+// first sample time — and later samples fold into the trailing bucket
+// until it reaches the current stride. Mean and Max stay exact regardless
+// (tracked as running aggregates over every sample); only the plotted
+// shape is decimated. Cap == 0 retains every sample, unchanged.
 type Series struct {
 	Name string
+	Cap  int
 	T    []sim.Time
 	V    []float64
+
+	cnt    []int // samples merged into each retained point (Cap > 0 only)
+	stride int   // samples a full bucket holds; doubles at each compression
+	lastT  sim.Time
+	total  int
+	sum    float64
+	max    float64
 }
 
 // Append adds a sample. Samples must arrive in time order.
 func (s *Series) Append(t sim.Time, v float64) {
-	if n := len(s.T); n > 0 && t < s.T[n-1] {
+	if s.total > 0 && t < s.lastT {
 		panic("metrics: series sample out of order")
+	}
+	s.lastT = t
+	s.sum += v
+	if s.total == 0 || v > s.max {
+		s.max = v
+	}
+	s.total++
+	if s.Cap > 1 {
+		if s.stride == 0 {
+			s.stride = 1
+		}
+		if last := len(s.cnt) - 1; last >= 0 && s.cnt[last] < s.stride {
+			c := float64(s.cnt[last])
+			s.V[last] = (s.V[last]*c + v) / (c + 1)
+			s.cnt[last]++
+			return
+		}
+		if len(s.T) >= s.Cap {
+			s.compress()
+		}
+		s.cnt = append(s.cnt, 1)
 	}
 	s.T = append(s.T, t)
 	s.V = append(s.V, v)
 }
 
-// Len returns the number of samples.
-func (s *Series) Len() int { return len(s.T) }
-
-// Mean returns the unweighted mean of the samples.
-func (s *Series) Mean() float64 {
-	if len(s.V) == 0 {
-		return 0
+// compress halves the series resolution in place: adjacent buckets merge
+// into their count-weighted mean at the earlier bucket's timestamp.
+func (s *Series) compress() {
+	j := 0
+	for i := 0; i < len(s.T); i += 2 {
+		if i+1 < len(s.T) {
+			ca, cb := float64(s.cnt[i]), float64(s.cnt[i+1])
+			s.V[j] = (s.V[i]*ca + s.V[i+1]*cb) / (ca + cb)
+			s.cnt[j] = s.cnt[i] + s.cnt[i+1]
+		} else {
+			s.V[j] = s.V[i]
+			s.cnt[j] = s.cnt[i]
+		}
+		s.T[j] = s.T[i]
+		j++
 	}
-	sum := 0.0
-	for _, v := range s.V {
-		sum += v
-	}
-	return sum / float64(len(s.V))
+	s.T = s.T[:j]
+	s.V = s.V[:j]
+	s.cnt = s.cnt[:j]
+	s.stride *= 2
 }
 
-// Max returns the largest sample (0 if empty).
-func (s *Series) Max() float64 {
-	m := 0.0
-	for i, v := range s.V {
-		if i == 0 || v > m {
-			m = v
-		}
+// Len returns the number of retained points (== samples when uncapped).
+func (s *Series) Len() int { return len(s.T) }
+
+// Samples returns the total number of samples ever appended.
+func (s *Series) Samples() int { return s.total }
+
+// Mean returns the exact unweighted mean over all appended samples.
+func (s *Series) Mean() float64 {
+	if s.total == 0 {
+		return 0
 	}
-	return m
+	return s.sum / float64(s.total)
+}
+
+// Max returns the exact largest appended sample (0 if empty).
+func (s *Series) Max() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.max
 }

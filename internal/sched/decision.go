@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sort"
@@ -186,11 +187,14 @@ func (l *DecisionLog) WriteJSONL(w io.Writer) error {
 		}
 		return entries[i].seq < entries[j].seq
 	})
-	enc := json.NewEncoder(w)
+	// Each Encode is one small Write; for a long capture that is one
+	// syscall per decision unless the writer is buffered.
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
 	for _, e := range entries {
 		if err := enc.Encode(e.v); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }

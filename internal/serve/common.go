@@ -41,6 +41,19 @@ type runner struct {
 	// structures (queues, running batches, KV, transfer maps). The
 	// request's Phase is already PhaseAborted when it is called.
 	onAbort func(q *engine.Req)
+
+	// Arrival streaming: one pending arrival event at a time. arrive pulls
+	// nextReq from src, feeds it to submit, then schedules the successor —
+	// so a million-request source never has more than one arrival event
+	// pending, and arrivalFn (a method value built once) keeps the chain
+	// allocation-free.
+	src         workload.Source
+	submit      func(q *engine.Req)
+	arrivalFn   func()
+	nextReq     workload.Request
+	haveNext    bool
+	arrivals    int
+	lastArrival sim.Time
 }
 
 func newRunner(cfg Config) (*runner, error) {
@@ -48,44 +61,77 @@ func newRunner(cfg Config) (*runner, error) {
 		return nil, err
 	}
 	cfg.fillDefaults()
+	rec := metrics.NewRecorder()
+	if cfg.Stream.Enabled {
+		rec = metrics.NewStreamingRecorder(cfg.SLO, cfg.Stream.MaxRecords)
+	}
 	return &runner{
 		s:         sim.New(),
-		rec:       metrics.NewRecorder(),
+		rec:       rec,
 		cfg:       cfg,
 		live:      make(map[uint64]*engine.Req),
 		recovered: make(map[uint64]bool),
 	}, nil
 }
 
-// scheduleArrivals feeds the trace into the system via submit, applying
-// the shed policy at each arrival: admission control first (a rejected
-// request does no work at all), then a TTFT-deadline timer that aborts
-// the request if it has produced no first token in time.
+// scheduleArrivals feeds a materialized trace into the system via submit.
 func (r *runner) scheduleArrivals(reqs []workload.Request, submit func(*engine.Req)) {
-	for _, w := range reqs {
-		w := w
-		r.s.At(w.Arrival, func() {
-			r.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
-			if d := r.cfg.Shed.MaxQueueDepth; d > 0 && r.queueDepth != nil && r.queueDepth() >= d {
-				r.rec.Reject(w.ID, r.s.Now())
-				r.rejected++
-				return
-			}
-			q := engine.NewReq(w)
-			r.live[w.ID] = q
-			if dl := r.cfg.Shed.TTFTDeadline; dl > 0 {
-				id := w.ID
-				r.s.Schedule(dl, func() {
-					if r.rec.InFlight(id) && !r.rec.HasFirstToken(id) {
-						r.abortReq(id)
-					}
-				})
-			}
-			submit(q)
-			if r.cfg.Tracer != nil && r.queueDepth != nil {
-				r.cfg.Tracer.Counter("cluster/queue_depth", r.s.Now(), float64(r.queueDepth()))
+	r.scheduleStream(workload.NewSliceSource(reqs), submit)
+}
+
+// scheduleStream feeds a request source into the system via submit,
+// scheduling only the first arrival; each arrival event then pulls its
+// successor from the source on demand. Sources must yield non-decreasing
+// arrival times (generator streams and validated traces do).
+func (r *runner) scheduleStream(src workload.Source, submit func(*engine.Req)) {
+	r.src, r.submit = src, submit
+	r.arrivalFn = r.arrive
+	w, ok := src.Next()
+	if !ok {
+		return
+	}
+	r.nextReq, r.haveNext = w, true
+	r.s.At(w.Arrival, r.arrivalFn)
+}
+
+// arrive handles one arrival event: admit (or shed) the due request, then
+// chain the next arrival.
+func (r *runner) arrive() {
+	w := r.nextReq
+	r.arrivals++
+	r.lastArrival = w.Arrival
+	r.admit(w)
+	if nw, ok := r.src.Next(); ok {
+		r.nextReq = nw
+		r.s.At(nw.Arrival, r.arrivalFn)
+	} else {
+		r.haveNext = false
+	}
+}
+
+// admit applies the shed policy to one arrival: admission control first (a
+// rejected request does no work at all), then a TTFT-deadline timer that
+// aborts the request if it has produced no first token in time.
+func (r *runner) admit(w workload.Request) {
+	r.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
+	if d := r.cfg.Shed.MaxQueueDepth; d > 0 && r.queueDepth != nil && r.queueDepth() >= d {
+		r.rec.Reject(w.ID, r.s.Now())
+		r.rejected++
+		return
+	}
+	q := engine.NewReq(w)
+	r.live[w.ID] = q
+	if dl := r.cfg.Shed.TTFTDeadline; dl > 0 {
+		id := w.ID
+		r.s.Schedule(dl, func() {
+			if r.rec.InFlight(id) && !r.rec.HasFirstToken(id) {
+				r.abortReq(id)
 			}
 		})
+	}
+	r.submit(q)
+	if r.cfg.Tracer != nil && r.queueDepth != nil {
+		r.cfg.Tracer.Counter("cluster/queue_depth", r.s.Now(), float64(r.queueDepth()))
 	}
 }
 
@@ -131,16 +177,21 @@ func (r *runner) cancelFrac(frac float64, seed int64) {
 func (r *runner) markRecovered(q *engine.Req) { r.recovered[q.W.ID] = true }
 
 // run drains the simulation (bounded by the horizon past the last arrival)
-// and assembles the shared parts of the result.
-func (r *runner) run(reqs []workload.Request, system string) *Result {
-	horizon := sim.Time(0)
-	if n := len(reqs); n > 0 {
-		horizon = reqs[n-1].Arrival
+// and assembles the shared parts of the result. With a pull-based source
+// the last arrival time is unknown up front, so the run proceeds in two
+// phases: step until the arrival chain ends (every event fired in this
+// phase is at or before the final arrival, exactly as a bounded run would
+// fire it), then drain the tail under the configured horizon.
+func (r *runner) run(system string) *Result {
+	for r.haveNext {
+		if !r.s.Step() {
+			break
+		}
 	}
-	r.s.Run(horizon.Add(r.cfg.Horizon))
+	r.s.Run(r.lastArrival.Add(r.cfg.Horizon))
 	res := &Result{
 		System:          system,
-		Requests:        len(reqs),
+		Requests:        r.arrivals,
 		Unfinished:      r.rec.Outstanding(),
 		Elapsed:         r.s.Now(),
 		Records:         r.rec.Completed(),
@@ -150,7 +201,11 @@ func (r *runner) run(reqs []workload.Request, system string) *Result {
 		Rejected:        r.rejected,
 		Recovered:       len(r.recovered),
 	}
-	res.Summary = metrics.Summarize(res.Records, r.cfg.SLO)
+	if r.rec.Streaming() {
+		res.Summary = r.rec.StreamSummary()
+	} else {
+		res.Summary = metrics.Summarize(res.Records, r.cfg.SLO)
+	}
 	return res
 }
 

@@ -77,6 +77,24 @@ type Config struct {
 	// Faults optionally injects a disturbance plan into the run; every
 	// system recovers per DESIGN.md's fault model. Nil means a clean run.
 	Faults *fault.Plan
+
+	// Stream selects bounded-memory metrics for long horizons. The zero
+	// value keeps the exact recorder, so default runs are byte-identical.
+	Stream StreamPolicy
+}
+
+// StreamPolicy opts a run into bounded-memory metrics: finalized records
+// fold into online aggregates (P² sketches for percentiles; everything
+// else exact) and only the first MaxRecords records per outcome class
+// stay retained for export. Combined with a workload.Source-fed run, a
+// million-request horizon holds O(instances + in-flight + MaxRecords)
+// state instead of O(requests).
+type StreamPolicy struct {
+	// Enabled switches the runner to a StreamingRecorder.
+	Enabled bool
+	// MaxRecords caps retained finalized records per class
+	// (metrics.DefaultMaxRecords if 0).
+	MaxRecords int
 }
 
 // ShedPolicy is SLO-aware load shedding: rather than queue arrivals

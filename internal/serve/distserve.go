@@ -22,6 +22,13 @@ import (
 // With multiple instances (Config.NumPrefill/NumDecode), requests are
 // routed round-robin — DistServe's orchestration is static.
 func RunDistServe(cfg Config, reqs []workload.Request) (*Result, error) {
+	return RunDistServeFrom(cfg, workload.NewSliceSource(reqs))
+}
+
+// RunDistServeFrom is RunDistServe fed from a pull-based request source:
+// arrivals are scheduled one at a time as the stream is consumed, so the
+// trace is never materialized.
+func RunDistServeFrom(cfg Config, src workload.Source) (*Result, error) {
 	r, err := newRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -37,10 +44,10 @@ func RunDistServe(cfg Config, reqs []workload.Request) (*Result, error) {
 	if err := installPDFaults(r, d); err != nil {
 		return nil, err
 	}
-	r.scheduleArrivals(reqs, func(q *engine.Req) {
+	r.scheduleStream(src, func(q *engine.Req) {
 		d.prefillRR(q)
 	})
-	res := r.run(reqs, "DistServe")
+	res := r.run("DistServe")
 	d.finalize(res)
 	return res, nil
 }

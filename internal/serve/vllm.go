@@ -21,6 +21,11 @@ import (
 // (prefill+decode GPUs) / ColocatedPlace.GPUs() identical replicas with
 // round-robin request routing.
 func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
+	return RunVLLMFrom(cfg, workload.NewSliceSource(reqs))
+}
+
+// RunVLLMFrom is RunVLLM fed from a pull-based request source.
+func RunVLLMFrom(cfg Config, src workload.Source) (*Result, error) {
 	r, err := newRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -41,6 +46,7 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		return nil, fmt.Errorf("serve: planning vLLM: %w", err)
 	}
 
+	at := make(map[uint64]int) // request → replica, for abort scrubbing
 	instances := make([]*engine.Instance, replicas)
 	kvs := make([]*kvcache.Manager, replicas)
 	for i, a := range asg {
@@ -51,6 +57,13 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		kvs[i] = kv
 		host := xfer.NewLink(r.s, fmt.Sprintf("host-%d", i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks() // nil OnPrefillDone: finished prompts join the local batch
+		base := hooks.OnComplete
+		// Scrub the routing entry on completion, not just on abort —
+		// otherwise the map grows with every request ever served.
+		hooks.OnComplete = func(q *engine.Req) {
+			base(q)
+			delete(at, q.W.ID)
+		}
 		ins, err := engine.NewInstance(r.s, engine.Config{
 			Name: fmt.Sprintf("vllm-%d", i), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
 			AllowPrefill: true, ChunkSize: cfg.ChunkSize, AlwaysChunk: true,
@@ -62,7 +75,6 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 		instances[i] = ins
 	}
 
-	at := make(map[uint64]int) // request → replica, for abort scrubbing
 	next := 0
 	route := func(q *engine.Req) {
 		// Round-robin over live replicas; with all replicas down, park on
@@ -99,8 +111,8 @@ func RunVLLM(cfg Config, reqs []workload.Request) (*Result, error) {
 	if err := installVLLMFaults(r, instances, route); err != nil {
 		return nil, err
 	}
-	r.scheduleArrivals(reqs, route)
-	res := r.run(reqs, "vLLM")
+	r.scheduleStream(src, route)
+	res := r.run("vLLM")
 
 	// Aggregate replica telemetry.
 	var stats kvcache.Stats

@@ -31,6 +31,11 @@ import (
 // migrations pick the prefill instance with the most spare blocks.
 // The ablations of §5.4 are flags in Config.Wind.
 func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
+	return RunWindServeFrom(cfg, workload.NewSliceSource(reqs))
+}
+
+// RunWindServeFrom is RunWindServe fed from a pull-based request source.
+func RunWindServeFrom(cfg Config, src workload.Source) (*Result, error) {
 	r, err := newRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -80,8 +85,8 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 	}
 	prof.WarmStartTransfer(d.nominalP2DRate())
 
-	r.scheduleArrivals(reqs, w.submit)
-	res := r.run(reqs, w.systemName())
+	r.scheduleStream(src, w.submit)
+	res := r.run(w.systemName())
 	d.finalize(res)
 	res.Dispatched = w.dispatched
 	res.Rescheduled = w.rescheduled

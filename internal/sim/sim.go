@@ -8,9 +8,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Time is a point in virtual time, in seconds since simulation start.
@@ -54,38 +54,227 @@ type event struct {
 	at    Time
 	seq   uint64 // tie-breaker: FIFO among same-time events
 	fn    func()
-	index int    // heap index, -1 when popped/cancelled
-	gen   uint64 // incarnation counter, bumped on every recycle
+	epoch  int64 // absolute calendar-bucket number at insertion width
+	bucket int   // owning bucket, fixed by epoch & mask
+	index  int   // position within the bucket, -1 when popped/cancelled
+	gen    uint64 // incarnation counter, bumped on every recycle
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires ahead of other in the kernel's total
+// order: time first, then insertion sequence (FIFO among ties).
+func (e *event) before(other *event) bool {
+	if e.at != other.at {
+		return e.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// calendarQueue is the pending-event set, organized as a calendar (bucket)
+// queue (Brown, CACM 1988): virtual time is cut into windows of `width`
+// seconds, window k maps to bucket k mod nbuckets, and a cursor sweeps
+// windows in order. With the bucket count resized to track the event
+// population, Schedule, Cancel, and pop are all O(1) amortized — against
+// the binary heap's O(log n) — which is what makes million-request
+// horizons with tens of thousands of pending events affordable.
+//
+// Ordering is exact, not approximate: an event's window is its integer
+// epoch floor(at/width), the in-window test compares epochs (never
+// accumulated float boundaries), and within a window the minimum is chosen
+// by (at, seq) — so firing order, including FIFO among equal timestamps,
+// is identical to the heap's total order.
+type calendarQueue struct {
+	buckets [][]*event
+	mask    int // len(buckets)-1; len is a power of two
+	n       int
+	width   Time
+	// curEpoch is the window the sweep cursor is on. Invariant: no pending
+	// event has epoch < curEpoch.
+	curEpoch int64
+	// sample is resize's scratch for width estimation.
+	sample []float64
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+const (
+	minBuckets = 16
+	// maxEpoch is the clamped window for events so far in the future that
+	// floor(at/width) overflows — e.g. horizon guards near Forever. They
+	// are only ever reached through the direct-search fallback, which
+	// compares (at, seq) exactly, so sharing one clamped window is safe.
+	maxEpoch = int64(1) << 62
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*event, minBuckets),
+		mask:    minBuckets - 1,
+		width:   1,
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// epochOf maps a timestamp to its window at the current width.
+func (q *calendarQueue) epochOf(at Time) int64 {
+	e := math.Floor(float64(at) / float64(q.width))
+	if !(e < float64(maxEpoch)) { // also catches +Inf/NaN from extreme at
+		return maxEpoch
+	}
+	if e < 0 {
+		return 0
+	}
+	return int64(e)
+}
+
+// push inserts an event, rewinding the cursor if it lands before it.
+func (q *calendarQueue) push(ev *event) {
+	q.place(ev)
+	q.n++
+	if q.n == 1 || ev.epoch < q.curEpoch {
+		q.curEpoch = ev.epoch
+	}
+	if q.n > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// place computes the event's window at the current width and appends it to
+// its bucket.
+func (q *calendarQueue) place(ev *event) {
+	ev.epoch = q.epochOf(ev.at)
+	b := int(ev.epoch) & q.mask
+	ev.bucket = b
+	ev.index = len(q.buckets[b])
+	q.buckets[b] = append(q.buckets[b], ev)
+}
+
+// remove unlinks a pending event from its bucket in O(1) by swapping the
+// bucket's last event into its slot.
+func (q *calendarQueue) remove(ev *event) {
+	b := q.buckets[ev.bucket]
+	last := len(b) - 1
+	if ev.index != last {
+		moved := b[last]
+		b[ev.index] = moved
+		moved.index = ev.index
+	}
+	b[last] = nil
+	q.buckets[ev.bucket] = b[:last]
 	ev.index = -1
-	*h = old[:n-1]
+	q.n--
+	if q.n < len(q.buckets)/2 && len(q.buckets) > minBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+}
+
+// peek returns the next event in (at, seq) order without removing it. The
+// cursor advances past empty windows as a side effect; if a whole year
+// (every bucket once) is swept without a hit, the pending set is sparse
+// relative to the cursor and a direct minimum search jumps the cursor to
+// wherever the events actually are.
+func (q *calendarQueue) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for i := 0; i <= q.mask; i++ {
+		var best *event
+		for _, ev := range q.buckets[int(q.curEpoch)&q.mask] {
+			if ev.epoch == q.curEpoch && (best == nil || ev.before(best)) {
+				best = ev
+			}
+		}
+		if best != nil {
+			return best
+		}
+		q.curEpoch++
+	}
+	var best *event
+	for _, bkt := range q.buckets {
+		for _, ev := range bkt {
+			if best == nil || ev.before(best) {
+				best = ev
+			}
+		}
+	}
+	q.curEpoch = best.epoch
+	return best
+}
+
+// pop removes and returns the next event in (at, seq) order.
+func (q *calendarQueue) pop() *event {
+	ev := q.peek()
+	if ev != nil {
+		q.remove(ev)
+	}
 	return ev
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-estimated
+// from the current population's spacing, keeping amortized bucket
+// occupancy O(1) as the pending count grows and shrinks.
+func (q *calendarQueue) resize(nb int) {
+	if nb < minBuckets {
+		nb = minBuckets
+	}
+	if w := q.sampleWidth(); w > 0 {
+		q.width = w
+	}
+	old := q.buckets
+	q.buckets = make([][]*event, nb)
+	q.mask = nb - 1
+	var min *event
+	for _, bkt := range old {
+		for _, ev := range bkt {
+			q.place(ev)
+			if min == nil || ev.before(min) {
+				min = ev
+			}
+		}
+	}
+	if min != nil {
+		q.curEpoch = min.epoch
+	}
+}
+
+// sampleWidth estimates a bucket width from the median positive gap
+// between a deterministic sample of pending-event timestamps. The median
+// keeps one far-future outlier (a horizon guard) from stretching every
+// bucket; dividing by the sampling stride converts the sample's spacing
+// back to the population's adjacent-event spacing, so occupancy stays
+// around one event per swept window. Returns 0 when no estimate is
+// possible (fewer than two distinct timestamps), in which case the caller
+// keeps the current width.
+func (q *calendarQueue) sampleWidth() Time {
+	const sampleCap = 64
+	stride := 1
+	if q.n > sampleCap {
+		stride = q.n / sampleCap
+	}
+	ts := q.sample[:0]
+	i := 0
+	for _, bkt := range q.buckets {
+		for _, ev := range bkt {
+			if i%stride == 0 {
+				ts = append(ts, float64(ev.at))
+			}
+			i++
+		}
+	}
+	q.sample = ts
+	sort.Float64s(ts)
+	gaps := 0
+	for i := 1; i < len(ts); i++ {
+		if g := ts[i] - ts[i-1]; g > 0 {
+			ts[gaps] = g // reuse the prefix for the positive gaps
+			gaps++
+		}
+	}
+	if gaps == 0 {
+		return 0
+	}
+	sort.Float64s(ts[:gaps])
+	w := 4 * ts[gaps/2] / float64(stride)
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return 0
+	}
+	return Time(w)
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The id
@@ -104,7 +293,7 @@ func (id EventID) Valid() bool { return id.ev != nil }
 // The zero value is not usable; call New.
 type Simulator struct {
 	now    Time
-	pq     eventHeap
+	q      *calendarQueue
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -116,9 +305,7 @@ type Simulator struct {
 
 // New returns an empty simulator at time 0.
 func New() *Simulator {
-	s := &Simulator{}
-	heap.Init(&s.pq)
-	return s
+	return &Simulator{q: newCalendarQueue()}
 }
 
 // Now returns the current virtual time.
@@ -128,7 +315,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled-but-unfired events.
-func (s *Simulator) Pending() int { return len(s.pq) }
+func (s *Simulator) Pending() int { return s.q.n }
 
 // Schedule runs fn after delay d (>= 0). Scheduling in the past panics,
 // since it indicates a cost-model bug rather than a recoverable condition.
@@ -150,7 +337,7 @@ func (s *Simulator) At(t Time, fn func()) EventID {
 	ev := s.alloc()
 	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.pq, ev)
+	s.q.push(ev)
 	return EventID{ev: ev, gen: ev.gen}
 }
 
@@ -180,7 +367,7 @@ func (s *Simulator) Cancel(id EventID) bool {
 	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
-	heap.Remove(&s.pq, id.ev.index)
+	s.q.remove(id.ev)
 	s.recycle(id.ev)
 	return true
 }
@@ -191,10 +378,10 @@ func (s *Simulator) Halt() { s.halted = true }
 // Step fires the single earliest pending event, if any, advancing the clock.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
-	if len(s.pq) == 0 {
+	ev := s.q.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&s.pq).(*event)
 	if ev.at < s.now {
 		panic("sim: time went backwards")
 	}
@@ -215,10 +402,11 @@ func (s *Simulator) Step() bool {
 func (s *Simulator) Run(until Time) {
 	s.halted = false
 	for !s.halted {
-		if len(s.pq) == 0 {
+		next := s.q.peek()
+		if next == nil {
 			return
 		}
-		if s.pq[0].at > until {
+		if next.at > until {
 			s.now = until
 			return
 		}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestP2ErrorBounds pins the sketch's accuracy contract: within 1%
+// relative error of the exact percentile at p50 and p99 on 100k samples,
+// across distribution shapes a latency stream actually takes (uniform,
+// exponential tail, lognormal).
+func TestP2ErrorBounds(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(rng *rand.Rand) float64
+	}{
+		{"uniform", func(rng *rand.Rand) float64 { return rng.Float64() * 10 }},
+		{"exponential", func(rng *rand.Rand) float64 { return rng.ExpFloat64() * 0.25 }},
+		{"lognormal", func(rng *rand.Rand) float64 { return math.Exp(rng.NormFloat64() * 0.8) }},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.5, 0.99} {
+			rng := rand.New(rand.NewSource(42))
+			sketch := NewP2Quantile(p)
+			xs := make([]float64, 100_000)
+			for i := range xs {
+				xs[i] = d.draw(rng)
+				sketch.Add(xs[i])
+			}
+			exact := Percentile(xs, p*100)
+			if e := relErr(sketch.Value(), exact); e > 0.01 {
+				t.Errorf("%s p%g: sketch=%.6f exact=%.6f relative error %.4f > 1%%",
+					d.name, p*100, sketch.Value(), exact, e)
+			}
+		}
+	}
+}
+
+// TestP2SmallN: below five observations the estimator must be exact.
+func TestP2SmallN(t *testing.T) {
+	s := NewP2Quantile(0.5)
+	if s.Value() != 0 {
+		t.Errorf("empty sketch Value = %v, want 0", s.Value())
+	}
+	s.Add(3)
+	if s.Value() != 3 {
+		t.Errorf("single-sample Value = %v, want 3", s.Value())
+	}
+	s.Add(1)
+	s.Add(2)
+	if s.Value() != 2 {
+		t.Errorf("3-sample median = %v, want 2", s.Value())
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+}
+
+// TestP2Deterministic: identical streams give identical estimates.
+func TestP2Deterministic(t *testing.T) {
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(7))
+		s := NewP2Quantile(0.9)
+		for i := 0; i < 10_000; i++ {
+			s.Add(rng.NormFloat64())
+		}
+		return s.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("P² not deterministic: %v != %v", a, b)
+	}
+}
+
+// BenchmarkPercentileRepeated vs BenchmarkPercentilesOf quantify the
+// satellite win: N percentiles of the same slice cost one sort, not N
+// copies+sorts.
+func BenchmarkPercentileRepeated(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Percentile(xs, 50)
+		_ = Percentile(xs, 90)
+		_ = Percentile(xs, 99)
+	}
+}
+
+func BenchmarkPercentilesOf(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PercentilesOf(xs, 50, 90, 99)
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	s := NewP2Quantile(0.99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}

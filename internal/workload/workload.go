@@ -323,22 +323,119 @@ func (g *Generator) Next() Request {
 	return r
 }
 
+// Source yields requests one at a time in non-decreasing arrival order.
+// It is the streaming counterpart of a materialized []Request trace: the
+// serve loop pulls the next request only when the previous arrival event
+// fires, so a million-request run never holds the full trace in memory.
+type Source interface {
+	// Next returns the next request, or ok=false when the stream ends.
+	Next() (Request, bool)
+}
+
+// SliceSource replays a materialized trace as a Source.
+type SliceSource struct {
+	reqs []Request
+	i    int
+}
+
+// NewSliceSource wraps an existing trace.
+func NewSliceSource(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+// genSource streams n requests from a generator.
+type genSource struct {
+	g         *Generator
+	remaining int
+}
+
+func (s *genSource) Next() (Request, bool) {
+	if s.remaining <= 0 {
+		return Request{}, false
+	}
+	s.remaining--
+	return s.g.Next(), true
+}
+
+// genForSource streams requests until one arrives past end; that request
+// is consumed and discarded, exactly as GenerateFor always did, so the
+// generator's state after draining matches the materialized path.
+type genForSource struct {
+	g    *Generator
+	end  sim.Time
+	done bool
+}
+
+func (s *genForSource) Next() (Request, bool) {
+	if s.done {
+		return Request{}, false
+	}
+	r := s.g.Next()
+	if r.Arrival > s.end {
+		s.done = true
+		return Request{}, false
+	}
+	return r, true
+}
+
+// Source returns a stream of the generator's next n requests. Draining it
+// yields the identical sequence Generate(n) materializes for the same
+// generator state.
+func (g *Generator) Source(n int) Source { return &genSource{g: g, remaining: n} }
+
+// SourceFor returns a stream of requests arriving within d of virtual time.
+func (g *Generator) SourceFor(d sim.Duration) Source {
+	return &genForSource{g: g, end: sim.Time(0).Add(d)}
+}
+
+// RateEstimator is implemented by arrival processes that know their
+// long-run mean rate (req/s); generators use it to size preallocations.
+type RateEstimator interface{ MeanRate() float64 }
+
+// MeanRate implements RateEstimator.
+func (p PoissonArrivals) MeanRate() float64 { return p.Rate }
+
+// MeanRate implements RateEstimator.
+func (u UniformArrivals) MeanRate() float64 { return u.Rate }
+
+// MeanRate implements RateEstimator. Bursty gaps are normalized so the
+// long-run mean rate stays Rate regardless of the burst parameters.
+func (b BurstyArrivals) MeanRate() float64 { return b.Rate }
+
 // Generate produces n requests in arrival order.
 func (g *Generator) Generate(n int) []Request {
-	out := make([]Request, n)
-	for i := range out {
-		out[i] = g.Next()
+	out := make([]Request, 0, n)
+	src := g.Source(n)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
 	}
-	return out
 }
 
 // GenerateFor produces requests until the trace spans d of virtual time.
+// The expected count (span times the process's mean rate) sizes the slice
+// up front, so long traces don't pay repeated append regrowth.
 func (g *Generator) GenerateFor(d sim.Duration) []Request {
-	var out []Request
-	end := sim.Time(0).Add(d)
+	hint := 16
+	if re, ok := g.Process.(RateEstimator); ok {
+		hint += int(d.Seconds() * re.MeanRate())
+	}
+	out := make([]Request, 0, hint)
+	src := g.SourceFor(d)
 	for {
-		r := g.Next()
-		if r.Arrival > end {
+		r, ok := src.Next()
+		if !ok {
 			return out
 		}
 		out = append(out, r)
@@ -376,16 +473,87 @@ func SaveTrace(w io.Writer, reqs []Request) error {
 	return enc.Encode(reqs)
 }
 
-// LoadTrace reads a JSON trace and validates ordering.
-func LoadTrace(r io.Reader) ([]Request, error) {
-	var reqs []Request
-	if err := json.NewDecoder(r).Decode(&reqs); err != nil {
-		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+// TraceReader streams a JSON trace one request at a time, validating
+// arrival ordering as it goes, without ever materializing the array.
+// Follow the bufio.Scanner convention: iterate Next until it returns
+// ok=false, then check Err.
+type TraceReader struct {
+	dec     *json.Decoder
+	err     error
+	started bool
+	done    bool
+	idx     int
+	last    sim.Time
+}
+
+// NewTraceReader wraps a JSON trace stream.
+func NewTraceReader(r io.Reader) *TraceReader {
+	return &TraceReader{dec: json.NewDecoder(r)}
+}
+
+// Next implements Source. It returns ok=false at end of trace or on the
+// first malformed entry; Err distinguishes the two.
+func (t *TraceReader) Next() (Request, bool) {
+	if t.done || t.err != nil {
+		return Request{}, false
 	}
-	for i := 1; i < len(reqs); i++ {
-		if reqs[i].Arrival < reqs[i-1].Arrival {
-			return nil, fmt.Errorf("workload: trace not sorted by arrival at index %d", i)
+	if !t.started {
+		t.started = true
+		tok, err := t.dec.Token()
+		if err != nil {
+			t.fail(err)
+			return Request{}, false
 		}
+		if d, ok := tok.(json.Delim); !ok || d != '[' {
+			t.err = fmt.Errorf("workload: decoding trace: expected JSON array, got %v", tok)
+			return Request{}, false
+		}
+	}
+	if !t.dec.More() {
+		if _, err := t.dec.Token(); err != nil { // consume the closing ']'
+			t.fail(err)
+			return Request{}, false
+		}
+		t.done = true
+		return Request{}, false
+	}
+	var r Request
+	if err := t.dec.Decode(&r); err != nil {
+		t.fail(err)
+		return Request{}, false
+	}
+	if t.idx > 0 && r.Arrival < t.last {
+		t.err = fmt.Errorf("workload: trace not sorted by arrival at index %d", t.idx)
+		return Request{}, false
+	}
+	t.last = r.Arrival
+	t.idx++
+	return r, true
+}
+
+func (t *TraceReader) fail(err error) {
+	t.err = fmt.Errorf("workload: decoding trace: %w", err)
+}
+
+// Err returns the first error encountered, if any. A truncated stream
+// (including one cut mid-line) surfaces here as an unexpected-EOF decode
+// error rather than silently ending the trace.
+func (t *TraceReader) Err() error { return t.err }
+
+// LoadTrace reads a JSON trace and validates ordering. It is a thin
+// adapter over TraceReader that materializes the stream.
+func LoadTrace(r io.Reader) ([]Request, error) {
+	tr := NewTraceReader(r)
+	var reqs []Request
+	for {
+		q, ok := tr.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, q)
+	}
+	if err := tr.Err(); err != nil {
+		return nil, err
 	}
 	return reqs, nil
 }

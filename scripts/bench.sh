@@ -14,11 +14,12 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_sim.json}
 micro_txt=$(mktemp)
 exhibit_txt=$(mktemp)
-trap 'rm -f "$micro_txt" "$exhibit_txt"' EXIT
+mega_txt=$(mktemp)
+trap 'rm -f "$micro_txt" "$exhibit_txt" "$mega_txt"' EXIT
 
-echo "== micro-benchmarks (sim, metrics, perf) ==" >&2
-go test -run '^$' -bench 'SimulatorScheduleFire|Summarize|OpenIDs|IterTime' \
-    -benchmem ./internal/sim ./internal/metrics ./internal/perf | tee "$micro_txt" >&2
+echo "== micro-benchmarks (sim, metrics, perf, stats) ==" >&2
+go test -run '^$' -bench 'SimulatorScheduleFire|Summarize|OpenIDs|IterTime|EventQueue|ServeSteady|P2Add|PercentilesOf' \
+    -benchmem ./internal/sim ./internal/metrics ./internal/perf ./internal/stats | tee "$micro_txt" >&2
 
 echo "== exhibit benchmarks (one full regeneration each) ==" >&2
 go test -run '^$' -bench . -benchmem -benchtime 2x . | tee "$exhibit_txt" >&2
@@ -36,7 +37,10 @@ serial=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
 parallel=$(echo "$t2 $t1" | awk '{printf "%.3f", $1 - $2}')
 echo "serial ${serial}s  parallel ${parallel}s  ($(nproc) cores)" >&2
 
-MICRO="$micro_txt" EXHIBIT="$exhibit_txt" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
+echo "== ext-mega: million-request streaming horizon ==" >&2
+/tmp/windbench.bench ext-mega | tee "$mega_txt" >&2
+
+MICRO="$micro_txt" EXHIBIT="$exhibit_txt" MEGA="$mega_txt" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
 python3 - <<'EOF'
 import json, os, re
 
@@ -55,12 +59,50 @@ def parse(path):
         rows.append(row)
     return rows
 
+def parse_mega(path):
+    rows = []
+    for line in open(path):
+        m = re.match(r'^(\S+)\s+(streaming|exact)\s+(\d+)\s+([\d.]+)\s+([\d.]+)'
+                     r'\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)%', line)
+        if not m:
+            continue
+        rows.append({
+            "system": m.group(1), "mode": m.group(2),
+            "requests": int(m.group(3)),
+            "sim_seconds": float(m.group(4)),
+            "wall_seconds": float(m.group(5)),
+            "sim_req_per_sec": float(m.group(6)),
+            "peak_heap_mb": float(m.group(7)),
+            "slo_attainment": float(m.group(8)) / 100,
+        })
+    return rows
+
+micro = parse(os.environ["MICRO"])
+ns = {r["name"]: r["ns_per_op"] for r in micro}
+heap_ns = ns.get("BenchmarkEventQueueHeap10k")
+cal_ns = ns.get("BenchmarkEventQueueCalendar10k")
+
 serial = float(os.environ["SERIAL"])
 parallel = float(os.environ["PARALLEL"])
 doc = {
     "description": "Simulation-kernel benchmarks; regenerate with scripts/bench.sh",
     "host_cores": os.cpu_count(),
-    "micro": parse(os.environ["MICRO"]),
+    "micro": micro,
+    "event_queue_10k": {
+        "heap_ns_per_op": heap_ns,
+        "calendar_ns_per_op": cal_ns,
+        "speedup": round(heap_ns / cal_ns, 2) if heap_ns and cal_ns else None,
+        "note": "hold model with 10k pending events; the calendar queue's "
+                "O(1) expected schedule/fire replaces the binary heap's "
+                "O(log n) sift",
+    },
+    "ext_mega": {
+        "args": "ext-mega (1,000,000 requests, streaming source + recorder)",
+        "rows": parse_mega(os.environ["MEGA"]),
+        "note": "peak_heap_mb is the high-water HeapAlloc sampled every 5ms; "
+                "streaming rows hold O(in-flight + retained records) "
+                "regardless of horizon length",
+    },
     "exhibits": parse(os.environ["EXHIBIT"]),
     "windbench_all": {
         "args": "-n 300 all",

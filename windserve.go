@@ -58,6 +58,13 @@ type (
 	Record = metrics.Record
 	// ModelConfig describes a transformer architecture.
 	ModelConfig = model.Config
+	// Source yields a workload's requests one at a time in arrival order.
+	// RunFrom pulls from it lazily, so million-request horizons never
+	// materialize the trace in memory.
+	Source = workload.Source
+	// StreamPolicy opts a run into bounded-memory streaming metrics
+	// (Config.Stream); the zero value keeps the exact recorder.
+	StreamPolicy = serve.StreamPolicy
 )
 
 // System selects which serving system to simulate.
@@ -127,6 +134,19 @@ func GenerateTrace(ds Dataset, ratePerGPU float64, cfg Config, n int, seed int64
 	return g.Generate(n)
 }
 
+// TraceSource is GenerateTrace's pull-based twin: it yields the same n
+// requests (bit-identical for the same seed) one at a time, so arbitrarily
+// long horizons run in O(1) trace memory. Combine with Config.Stream to
+// bound the metrics side too.
+func TraceSource(ds Dataset, ratePerGPU float64, cfg Config, n int, seed int64) Source {
+	if ds.MaxContext > cfg.Model.MaxContext {
+		ds.MaxContext = cfg.Model.MaxContext
+	}
+	gpus := float64(cfg.TotalGPUs())
+	g := workload.NewGenerator(ds, workload.PoissonArrivals{Rate: ratePerGPU * gpus}, seed)
+	return g.Source(n)
+}
+
 // SaveTrace writes a request trace as JSON, so the identical stream can be
 // replayed against other systems or configurations.
 func SaveTrace(w io.Writer, reqs []Request) error { return workload.SaveTrace(w, reqs) }
@@ -153,6 +173,29 @@ func Run(sys System, cfg Config, reqs []Request) (*Result, error) {
 		return serve.RunWindServeNoSplit(cfg, reqs)
 	case SystemWindServeNoResched:
 		return serve.RunWindServeNoResched(cfg, reqs)
+	default:
+		return nil, fmt.Errorf("windserve: unknown system %q", sys)
+	}
+}
+
+// RunFrom simulates serving requests pulled lazily from src — the
+// streaming counterpart of Run. With a generator-backed source
+// (TraceSource) and Config.Stream enabled, memory stays O(in-flight +
+// retained records) regardless of how many requests the source yields.
+func RunFrom(sys System, cfg Config, src Source) (*Result, error) {
+	switch sys {
+	case SystemVLLM:
+		return serve.RunVLLMFrom(cfg, src)
+	case SystemDistServe:
+		return serve.RunDistServeFrom(cfg, src)
+	case SystemWindServe:
+		return serve.RunWindServeFrom(cfg, src)
+	case SystemWindServeNoSplit:
+		cfg.Wind.DisableSBD = true
+		return serve.RunWindServeFrom(cfg, src)
+	case SystemWindServeNoResched:
+		cfg.Wind.DisableResched = true
+		return serve.RunWindServeFrom(cfg, src)
 	default:
 		return nil, fmt.Errorf("windserve: unknown system %q", sys)
 	}
