@@ -36,6 +36,8 @@ func run() int {
 	maxRecords := flag.Int("maxrecords", 0, "per-class record retention cap with -stream (0 = default 10000)")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
+	fleetN := flag.Int("fleet", 16, "replica count for ext-fleet-chaos")
+	chaos := flag.String("chaos", "", `chaos plan for ext-fleet-chaos, e.g. "rcrash:r0@60+30; rslow:r1@90x8+60" (default: a crash+partition+slow+cancel schedule scaled to the run)`)
 	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
 	decisionsPath := flag.String("decisions", "", "write the traced capture's scheduler decision log here as JSONL")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -49,11 +51,15 @@ func run() int {
 	par.SetDefault(*parallel)
 	o := bench.Options{Requests: *n, Seed: *seed, Parallel: *parallel,
 		Stream: *stream, MaxRecords: *maxRecords}
-	// ext-mega defaults to a million requests; an explicit -n overrides it.
+	// ext-mega defaults to a million requests and ext-fleet-chaos to a
+	// hundred thousand; an explicit -n overrides both.
 	o.MegaRequests = 1_000_000
+	o.FleetRequests = 100_000
+	o.FleetReplicas = *fleetN
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "n" {
 			o.MegaRequests = *n
+			o.FleetRequests = *n
 		}
 	})
 
@@ -91,6 +97,15 @@ func run() int {
 			return 2
 		}
 		plan.Seed = *seed
+	}
+	var chaosPlan *fault.Plan
+	if *chaos != "" {
+		var err error
+		if chaosPlan, err = fault.Parse(*chaos); err != nil {
+			fmt.Fprintf(os.Stderr, "windbench: -chaos: %v\n", err)
+			return 2
+		}
+		chaosPlan.Seed = *seed
 	}
 
 	writeCSV := func(rows []bench.Row) error {
@@ -145,15 +160,20 @@ func run() int {
 		"ext-shift":     func(w io.Writer) error { _, err := bench.ExpShift(o, w); return err },
 		"ext-faults":    func(w io.Writer) error { _, err := bench.ExpResilience(o, w, plan); return err },
 		"ext-mega":      func(w io.Writer) error { _, err := bench.ExpMega(o, w); return err },
+		"ext-fleet-chaos": func(w io.Writer) error {
+			_, err := bench.ExpFleetChaos(o, w, chaosPlan)
+			return err
+		},
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
 		for k := range exhibits {
-			// ext-mega's runtime scales with -n (default one million
-			// requests), so it only runs when named explicitly.
-			if k == "ext-mega" {
+			// ext-mega's and ext-fleet-chaos's runtimes scale with -n
+			// (defaults of a million and a hundred thousand requests), so
+			// they only run when named explicitly.
+			if k == "ext-mega" || k == "ext-fleet-chaos" {
 				continue
 			}
 			args = append(args, k)
@@ -256,6 +276,11 @@ extensions (not paper exhibits):
   ext-mega       million-request horizon: streaming source + bounded-memory
                  metrics; reports sim req/s and peak heap (not part of "all";
                  -n overrides the 1,000,000-request default)
+  ext-fleet-chaos  multi-replica fleet under seeded chaos: routing policies ×
+                 {clean, chaos}, reporting goodput, SLO, failovers, wasted
+                 work, and crash-recovery time (not part of "all"; size with
+                 -fleet and -n, override the plan with -chaos
+                 "rcrash:r0@60+30; rpart:r1@90+20")
 
 flags:
 `)

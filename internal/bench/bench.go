@@ -42,6 +42,10 @@ type Options struct {
 	MaxRecords int
 	// MegaRequests sizes ExpMega's long-horizon run; <= 0 means 1,000,000.
 	MegaRequests int
+	// FleetRequests sizes ExpFleetChaos's runs; <= 0 means 100,000.
+	FleetRequests int
+	// FleetReplicas sets ExpFleetChaos's replica count; <= 0 means 16.
+	FleetReplicas int
 }
 
 // DefaultOptions returns the sizes used for the committed EXPERIMENTS.md.

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fleetSmall sizes ExpFleetChaos for tests: the full policy × chaos grid
+// on a small fleet and trace.
+func fleetSmall() Options {
+	o := small()
+	o.FleetRequests = 600
+	o.FleetReplicas = 4
+	return o
+}
+
+func TestExpFleetChaos(t *testing.T) {
+	var sb strings.Builder
+	rows, err := ExpFleetChaos(fleetSmall(), &sb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 policies × clean/chaos)", len(rows))
+	}
+	for _, r := range rows {
+		if got := r.Completed + r.Aborted + r.Rejected + r.Unfinished; got != r.Requests {
+			t.Errorf("%s chaos=%v: lifecycle partition broken: %d != %d requests",
+				r.Policy, r.Chaos, got, r.Requests)
+		}
+		if r.Chaos {
+			if r.FailedOver == 0 {
+				t.Errorf("%s: chaos run failed nothing over", r.Policy)
+			}
+			if len(r.RecoverySec) != 1 {
+				t.Errorf("%s: want 1 recovery-time entry for 1 rcrash, got %v", r.Policy, r.RecoverySec)
+			}
+		} else if r.FailedOver != 0 || r.Aborted != 0 {
+			t.Errorf("%s: clean run lost requests: %+v", r.Policy, r)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"round-robin", "least-loaded", "weighted", "rcrash:r0@", "recovery s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestFleetChaosParallelByteIdentical extends the runner contract to the
+// fleet exhibit: serial and fanned-out execution print the same bytes —
+// the property the CI chaos-smoke job enforces end to end.
+func TestFleetChaosParallelByteIdentical(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4} {
+		o := fleetSmall()
+		o.Parallel = workers
+		var sb strings.Builder
+		if _, err := ExpFleetChaos(o, &sb, nil); err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = sb.String()
+			continue
+		}
+		if got := sb.String(); got != want {
+			t.Errorf("parallel=%d output differs from serial\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

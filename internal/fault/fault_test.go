@@ -143,3 +143,154 @@ func TestApplyValidates(t *testing.T) {
 		t.Fatal("Apply accepted an invalid plan")
 	}
 }
+
+func TestParseReplicaRoundTrip(t *testing.T) {
+	spec := "rcrash:r3@30+15; rslow:r1@10x2+20; rpart:r0@25+10"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: ReplicaCrash, Role: RoleReplica, Instance: 3, At: 30, Duration: 15},
+		{Kind: ReplicaSlow, Role: RoleReplica, Instance: 1, At: 10, Factor: 2, Duration: 20},
+		{Kind: ReplicaPartition, Role: RoleReplica, Instance: 0, At: 25, Duration: 10},
+	}
+	if len(p.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(p.Events), len(want))
+	}
+	for i, e := range p.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	for i := range p.Events {
+		if p2.Events[i] != p.Events[i] {
+			t.Errorf("round-trip event %d = %+v, want %+v", i, p2.Events[i], p.Events[i])
+		}
+	}
+}
+
+func TestParseReplicaErrors(t *testing.T) {
+	for _, spec := range []string{
+		"rcrash@10",       // replica crash needs a target
+		"rcrash:p0@10",    // replica kinds take r<i>, not instance targets
+		"rslow:d1@10x2",   // same, via slow
+		"rpart:r0@10x0.5", // partition takes no factor
+		"rslow:r0@10x0.5", // replica slowdown factor < 1
+		"rslow:r0@10",     // replica slowdown needs a factor
+		"crash:r0@10",     // instance kinds reject replica targets
+		"slow:r2@10x2",    // same, via slow
+		"rcrash:r-1@10",   // bad index
+		"rcrash:rzero@10", // non-numeric index
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestValidateRejectsOverlappingWindows(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		ok   bool
+	}{
+		{"crash:d0@10+5; crash:d0@12+5", false}, // windows intersect
+		{"crash:d0@10; crash:d0@50+5", false},   // permanent overlaps everything later
+		{"crash:d0@10+5; crash:d0@15+5", true},  // back-to-back is fine
+		{"crash:d0@10+5; crash:d1@12+5", true},  // different instance
+		{"crash:d0@10+5; crash:p0@12+5", true},  // different role
+		{"crash:d0@10+5; rcrash:r0@12+5", true}, // instance vs replica space
+		{"rcrash:r2@10+5; rcrash:r2@12+5", false},
+		{"rpart:r1@10+5; rpart:r1@12+5", false},
+		{"rpart:r1@10+5; rcrash:r1@12+5", true},  // partition and crash are separate windows
+		{"slow:d0@10x2+5; slow:d0@12x2+5", true}, // slowdowns may overlap
+	} {
+		_, err := Parse(tc.spec)
+		if tc.ok && err != nil {
+			t.Errorf("Parse(%q) = %v, want ok", tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Parse(%q) succeeded, want overlap error", tc.spec)
+		}
+	}
+}
+
+func TestValidateTargets(t *testing.T) {
+	instPlan := mustParse(t, "crash:p1@10+5; slow:d2@10x2+5")
+	if err := instPlan.ValidateTargets(2, 3, 0); err != nil {
+		t.Errorf("in-range instance events rejected: %v", err)
+	}
+	if err := instPlan.ValidateTargets(1, 3, 0); err == nil {
+		t.Error("p1 accepted with only 1 prefill instance")
+	}
+	if err := instPlan.ValidateTargets(2, 2, 0); err == nil {
+		t.Error("d2 accepted with only 2 decode instances")
+	}
+	if err := instPlan.ValidateTargets(0, 0, 8); err == nil {
+		t.Error("instance events accepted in a fleet-plan context")
+	}
+
+	repPlan := mustParse(t, "rcrash:r7@10+5; rpart:r0@30+5; degrade@40x0.5+5; cancel@50x0.1")
+	if err := repPlan.ValidateTargets(0, 0, 8); err != nil {
+		t.Errorf("in-range replica events rejected: %v", err)
+	}
+	if err := repPlan.ValidateTargets(0, 0, 7); err == nil {
+		t.Error("r7 accepted with only 7 replicas")
+	}
+	if err := repPlan.ValidateTargets(2, 2, 0); err == nil {
+		t.Error("replica events accepted in a single-testbed context")
+	}
+}
+
+func TestApplyReplicaHooks(t *testing.T) {
+	s := sim.New()
+	p := mustParse(t, "rcrash:r2@5+3; rslow:r0@2x2+4; rpart:r1@1+6")
+	var log []string
+	h := Hooks{
+		ReplicaCrash: func(idx int) {
+			log = append(log, fmt.Sprintf("rcrash r%d @%v", idx, s.Now()))
+		},
+		ReplicaRestore: func(idx int) {
+			log = append(log, fmt.Sprintf("rrestore r%d @%v", idx, s.Now()))
+		},
+		SetReplicaSlowdown: func(idx int, f float64) {
+			log = append(log, fmt.Sprintf("rslow r%d x%g @%v", idx, f, s.Now()))
+		},
+		SetPartition: func(idx int, part bool) {
+			log = append(log, fmt.Sprintf("rpart r%d %v @%v", idx, part, s.Now()))
+		},
+	}
+	if err := Apply(s, p, h); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	want := []string{
+		"rpart r1 true @1.000000s",
+		"rslow r0 x2 @2.000000s",
+		"rcrash r2 @5.000000s",
+		"rslow r0 x1 @6.000000s",
+		"rpart r1 false @7.000000s",
+		"rrestore r2 @8.000000s",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v\nwant  %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func mustParse(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return p
+}

@@ -1,0 +1,693 @@
+// Package fleet composes N independent serving replicas — each a
+// complete prefill/decode group from internal/serve — behind a request
+// router, and makes resilience the headline capability: per-replica
+// health driven by the fault plan DSL (rcrash/rslow/rpart), router-level
+// timeout failover of first-token-less requests to healthy replicas
+// (idempotent re-prefill with wasted-work accounting), admission control
+// and deadline shedding at the router, and a brown-out mode that defers
+// failovers under overload, trading TTFT slack for goodput.
+//
+// Everything runs on one discrete-event simulator and one request
+// ledger, so a fleet run is exactly as deterministic as a single-testbed
+// run: same seed, same plan ⇒ byte-identical results. Every route,
+// failover, and degradation decision flows through sched.DecisionLog.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"windserve/internal/engine"
+	"windserve/internal/fault"
+	"windserve/internal/metrics"
+	"windserve/internal/sched"
+	"windserve/internal/serve"
+	"windserve/internal/sim"
+	"windserve/internal/workload"
+)
+
+// Config describes one fleet experiment.
+type Config struct {
+	// Replica is the per-replica serving configuration (model, placements,
+	// instance counts). NamePrefix, Shed, and Faults must be zero: the
+	// fleet assigns prefixes and owns shedding and fault injection.
+	Replica serve.Config
+	// NumReplicas deploys that many identical replicas (≥1).
+	NumReplicas int
+
+	// Policy picks the router: "round-robin", "least-loaded", or
+	// "weighted" (health/SLO-aware scoring). Default "round-robin".
+	Policy string
+
+	// FailoverTimeout fails a request over to another replica when it has
+	// produced no first token this long after being routed — the hedge
+	// against slow, partitioned, or silently sick replicas. 0 disables
+	// timeout failover (crash failover still happens).
+	FailoverTimeout sim.Duration
+	// MaxFailovers caps how many times one request may be failed over
+	// before the router gives up and aborts it (default 2).
+	MaxFailovers int
+
+	// MaxQueueDepth rejects an arrival when the fleet-wide queue depth
+	// (all replicas + parked orphans) is already at least this. 0
+	// disables admission control.
+	MaxQueueDepth int
+	// TTFTDeadline aborts a request with no first token this long after
+	// arrival, wherever it is. 0 disables deadline aborts.
+	TTFTDeadline sim.Duration
+
+	// BrownoutDepth enters brown-out when the mean queue depth per
+	// healthy replica reaches it; the fleet exits at half that. While
+	// browned out, timeout failovers are deferred by BrownoutSlack× —
+	// re-prefilling elsewhere would only deepen the overload. 0 disables.
+	BrownoutDepth int
+	// BrownoutSlack multiplies FailoverTimeout during brown-out
+	// (default 2).
+	BrownoutSlack float64
+
+	// Faults is the chaos schedule: replica-granularity events
+	// (rcrash/rslow/rpart) plus degrade and cancel. Instance-granularity
+	// events (crash/slow) are rejected — address replicas in fleet plans.
+	Faults *fault.Plan
+
+	// Horizon bounds the drain after the last arrival (default 7200 s).
+	Horizon sim.Duration
+
+	// Decisions collects route/failover/health decisions; nil skips.
+	Decisions *sched.DecisionLog
+}
+
+// Result is what one fleet run produces.
+type Result struct {
+	Policy   string
+	Replicas int
+
+	Requests   int
+	Completed  int
+	Unfinished int
+	Aborted    int
+	Rejected   int
+	// Recovered counts requests that survived a replica crash or a router
+	// failover (re-prefilled elsewhere) and whose record closed normally.
+	Recovered int
+	// FailedOver counts failover decisions (one request can fail over
+	// more than once).
+	FailedOver int
+	// WastedTokens is the prefill+decode work discarded by evictions.
+	WastedTokens int
+	// BrownoutSec is the virtual time spent in brown-out.
+	BrownoutSec float64
+	// RecoverySec has one entry per replica-crash event: seconds from
+	// crash onset until fleet completion throughput is back to ≥90% of
+	// its pre-crash baseline, or -1 if it never recovered in the run.
+	RecoverySec []float64
+
+	Elapsed sim.Time
+	Summary metrics.Summary
+
+	// LiveKVBlocks nonzero with Unfinished == 0 means a leak.
+	LiveKVBlocks int
+	TransferGB   float64
+
+	MeanPrefillUtil, MeanDecodeUtil float64
+}
+
+func (r *Result) String() string {
+	s := r.Summary
+	return fmt.Sprintf(
+		"fleet/%s: %d replicas, %d reqs (%d unfinished) | TTFT p50=%v p99=%v | SLO %.1f%% | goodput %.2f rps | aborted %d, rejected %d, recovered %d, failovers %d, wasted %d tok",
+		r.Policy, r.Replicas, r.Requests, r.Unfinished,
+		s.TTFTP50, s.TTFTP99, 100*s.Attainment, s.GoodputRPS,
+		r.Aborted, r.Rejected, r.Recovered, r.FailedOver, r.WastedTokens)
+}
+
+// reqState is the router's view of one in-flight request.
+type reqState struct {
+	w         workload.Request
+	replica   int // owning replica, -1 while parked
+	failovers int
+	timerSeq  int // invalidates stale failover timers after a re-route
+}
+
+// fleet is the running state behind Run.
+type fleet struct {
+	s   *sim.Simulator
+	rec *metrics.Recorder
+	cfg Config
+
+	replicas    []*serve.Replica
+	partitioned []bool
+	pol         policy
+
+	state  map[uint64]*reqState
+	parked []uint64 // FIFO of requests waiting for any healthy replica
+
+	recovered map[uint64]bool
+	completed int // completions observed via onComplete
+	aborted   int // router-side aborts (parked or given-up requests)
+	rejected  int
+	failovers int
+	wasted    int
+
+	brownout      bool
+	brownoutSince sim.Time
+	brownoutSec   float64
+
+	// completions[i] counts records closed in virtual second i — the
+	// recovery-time signal.
+	completions []int
+
+	// arrival streaming (the runner pattern: one pending event).
+	src         workload.Source
+	arrivalFn   func()
+	nextReq     workload.Request
+	haveNext    bool
+	arrivals    int
+	lastArrival sim.Time
+}
+
+func (c *Config) validate() error {
+	if c.NumReplicas < 1 {
+		return fmt.Errorf("fleet: NumReplicas %d < 1", c.NumReplicas)
+	}
+	if c.Replica.NamePrefix != "" {
+		return fmt.Errorf("fleet: Replica.NamePrefix is assigned per replica; leave it empty")
+	}
+	if c.BrownoutSlack < 0 || c.MaxFailovers < 0 || c.MaxQueueDepth < 0 {
+		return fmt.Errorf("fleet: negative policy knob")
+	}
+	if c.FailoverTimeout < 0 || c.TTFTDeadline < 0 {
+		return fmt.Errorf("fleet: negative timeout")
+	}
+	if _, err := newPolicy(c.Policy); err != nil {
+		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if err := c.Faults.ValidateTargets(0, 0, c.NumReplicas); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Config) fillDefaults() {
+	if c.Policy == "" {
+		c.Policy = "round-robin"
+	}
+	if c.MaxFailovers == 0 {
+		c.MaxFailovers = 2
+	}
+	if c.BrownoutSlack == 0 {
+		c.BrownoutSlack = 2
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = sim.Seconds(7200)
+	}
+}
+
+// Run executes one fleet experiment over a materialized trace.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	return RunFrom(cfg, workload.NewSliceSource(reqs))
+}
+
+// RunFrom is Run fed from a pull-based request source, so a 100k-request
+// chaos exhibit never materializes its trace.
+func RunFrom(cfg Config, src workload.Source) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+
+	s := sim.New()
+	rec := metrics.NewRecorder()
+	if cfg.Replica.Stream.Enabled {
+		rec = metrics.NewStreamingRecorder(cfg.Replica.SLO, cfg.Replica.Stream.MaxRecords)
+	}
+	f := &fleet{
+		s: s, rec: rec, cfg: cfg,
+		partitioned: make([]bool, cfg.NumReplicas),
+		state:       make(map[uint64]*reqState),
+		recovered:   make(map[uint64]bool),
+	}
+	f.pol, _ = newPolicy(cfg.Policy)
+	for i := 0; i < cfg.NumReplicas; i++ {
+		rcfg := cfg.Replica
+		rcfg.NamePrefix = fmt.Sprintf("r%d/", i)
+		rcfg.Decisions = cfg.Decisions
+		rp, err := serve.NewReplica(s, rec, rcfg, f.onComplete)
+		if err != nil {
+			return nil, err
+		}
+		f.replicas = append(f.replicas, rp)
+	}
+	if err := f.installFaults(); err != nil {
+		return nil, err
+	}
+
+	f.src = src
+	f.arrivalFn = f.arrive
+	if w, ok := src.Next(); ok {
+		f.nextReq, f.haveNext = w, true
+		s.At(w.Arrival, f.arrivalFn)
+	}
+
+	// Two-phase drain (the runner pattern): step until the arrival chain
+	// ends, then run out the tail under the horizon.
+	for f.haveNext {
+		if !s.Step() {
+			break
+		}
+	}
+	s.Run(f.lastArrival.Add(cfg.Horizon))
+
+	return f.finish(), nil
+}
+
+// arrive admits or sheds one arrival, then chains the next.
+func (f *fleet) arrive() {
+	w := f.nextReq
+	f.arrivals++
+	f.lastArrival = w.Arrival
+	f.admit(w)
+	if nw, ok := f.src.Next(); ok {
+		f.nextReq = nw
+		f.s.At(nw.Arrival, f.arrivalFn)
+	} else {
+		f.haveNext = false
+	}
+}
+
+func (f *fleet) admit(w workload.Request) {
+	f.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, f.s.Now())
+	f.updateBrownout()
+	if d := f.cfg.MaxQueueDepth; d > 0 && f.totalQueueDepth() >= d {
+		f.rec.Reject(w.ID, f.s.Now())
+		f.rejected++
+		f.cfg.Decisions.AddRoute(f.s.Now(), w.ID, "router", "admission-reject")
+		return
+	}
+	st := &reqState{w: w, replica: -1}
+	f.state[w.ID] = st
+	if dl := f.cfg.TTFTDeadline; dl > 0 {
+		id := w.ID
+		f.s.Schedule(dl, func() {
+			if f.rec.InFlight(id) && !f.rec.HasFirstToken(id) {
+				f.abort(id, "deadline-abort")
+			}
+		})
+	}
+	f.route(st, "")
+}
+
+// route places a request on a healthy replica (or parks it). reason
+// overrides the policy's decision label — failover paths pass theirs.
+func (f *fleet) route(st *reqState, reason string) {
+	avoid := st.replica
+	j := f.pol.pick(f, avoid)
+	if j < 0 {
+		st.replica = -1
+		f.parked = append(f.parked, st.w.ID)
+		f.cfg.Decisions.AddRoute(f.s.Now(), st.w.ID, "router", "parked-no-healthy-replica")
+		return
+	}
+	st.replica = j
+	st.timerSeq++
+	if reason == "" {
+		reason = f.pol.name()
+	}
+	f.cfg.Decisions.AddRoute(f.s.Now(), st.w.ID, f.replicas[j].Name(), reason)
+	f.replicas[j].Submit(st.w)
+	f.armFailoverTimer(st.w.ID)
+}
+
+// armFailoverTimer hedges a routed request: if it still has no first
+// token when the (possibly brown-out-stretched) timeout fires, it moves.
+func (f *fleet) armFailoverTimer(id uint64) {
+	if f.cfg.FailoverTimeout <= 0 {
+		return
+	}
+	st, ok := f.state[id]
+	if !ok {
+		return
+	}
+	seq := st.timerSeq
+	f.s.Schedule(f.cfg.FailoverTimeout, func() { f.failoverTimerFired(id, seq) })
+}
+
+func (f *fleet) failoverTimerFired(id uint64, seq int) {
+	st, ok := f.state[id]
+	if !ok || st.timerSeq != seq || st.replica < 0 {
+		return
+	}
+	if !f.rec.InFlight(id) || f.rec.HasFirstToken(id) {
+		return
+	}
+	f.updateBrownout()
+	if f.brownout {
+		// Deferred, not cancelled: re-check after the slack interval. If
+		// the brown-out has ended by then the request finally moves.
+		extra := sim.Duration(float64(f.cfg.FailoverTimeout) * (f.cfg.BrownoutSlack - 1))
+		if extra > 0 {
+			f.s.Schedule(extra, func() { f.failoverTimerFired(id, seq) })
+			return
+		}
+	}
+	from := st.replica
+	q := f.replicas[from].Evict(id)
+	if q == nil {
+		return
+	}
+	f.wasted += q.PrefillDone + q.Generated
+	f.pol.observeFailure(f, from, 1)
+	f.failover(st, q, "failover-timeout")
+}
+
+// failover re-routes an evicted request (record still open) to another
+// healthy replica, or gives up after MaxFailovers.
+func (f *fleet) failover(st *reqState, q *engine.Req, reason string) {
+	id := st.w.ID
+	st.failovers++
+	f.failovers++
+	if st.failovers > f.cfg.MaxFailovers {
+		f.rec.Abort(id, f.s.Now(), q.Generated)
+		f.aborted++
+		delete(f.state, id)
+		f.cfg.Decisions.AddRoute(f.s.Now(), id, "router", "failover-give-up")
+		return
+	}
+	f.recovered[id] = true
+	f.route(st, reason)
+}
+
+// abort finalizes a request wherever it is: on a replica (which scrubs
+// its engines) or parked at the router.
+func (f *fleet) abort(id uint64, reason string) {
+	st, ok := f.state[id]
+	if !ok {
+		return
+	}
+	if st.replica >= 0 {
+		f.replicas[st.replica].Abort(id)
+	} else {
+		f.unpark(id)
+		f.rec.Abort(id, f.s.Now(), 0)
+		f.aborted++
+	}
+	delete(f.state, id)
+	f.cfg.Decisions.AddRoute(f.s.Now(), id, "router", reason)
+}
+
+// unpark removes one id from the parked queue.
+func (f *fleet) unpark(id uint64) {
+	for i, p := range f.parked {
+		if p == id {
+			f.parked = append(f.parked[:i], f.parked[i+1:]...)
+			return
+		}
+	}
+}
+
+// drainParked re-routes parked requests now that a replica came back.
+func (f *fleet) drainParked() {
+	if len(f.parked) == 0 {
+		return
+	}
+	ids := f.parked
+	f.parked = nil
+	for _, id := range ids {
+		st, ok := f.state[id]
+		if !ok || st.replica >= 0 {
+			continue
+		}
+		f.route(st, "unparked")
+	}
+}
+
+// onComplete retires the router's bookkeeping when a record closes.
+func (f *fleet) onComplete(q *engine.Req) {
+	delete(f.state, q.W.ID)
+	f.completed++
+	sec := int(float64(f.s.Now()))
+	for len(f.completions) <= sec {
+		f.completions = append(f.completions, 0)
+	}
+	f.completions[sec]++
+	f.updateBrownout()
+}
+
+// cancelFrac aborts a seeded-random fraction of open requests — the
+// client-cancellation fault, fleet edition (same victim rule as serve).
+func (f *fleet) cancelFrac(frac float64, seed int64) {
+	ids := f.rec.OpenIDs()
+	n := len(ids)
+	k := int(math.Round(frac * float64(n)))
+	if k <= 0 {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	picks := rand.New(rand.NewSource(seed)).Perm(n)[:k]
+	sort.Ints(picks)
+	for _, i := range picks {
+		f.abort(ids[i], "client-cancel")
+	}
+}
+
+// totalQueueDepth is the fleet-wide admission signal.
+func (f *fleet) totalQueueDepth() int {
+	n := len(f.parked)
+	for _, rp := range f.replicas {
+		n += rp.QueueDepth()
+	}
+	return n
+}
+
+// healthy reports whether the router may route to replica i.
+func (f *fleet) healthy(i int) bool {
+	return !f.replicas[i].Down() && !f.partitioned[i]
+}
+
+func (f *fleet) numHealthy() int {
+	n := 0
+	for i := range f.replicas {
+		if f.healthy(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// updateBrownout applies the hysteresis: enter at BrownoutDepth mean
+// queue depth per healthy replica, exit at half.
+func (f *fleet) updateBrownout() {
+	d := f.cfg.BrownoutDepth
+	if d == 0 {
+		return
+	}
+	nh := f.numHealthy()
+	if nh == 0 {
+		return
+	}
+	mean := f.totalQueueDepth() / nh
+	if !f.brownout && mean >= d {
+		f.brownout = true
+		f.brownoutSince = f.s.Now()
+		f.cfg.Decisions.AddRoute(f.s.Now(), 0, "router", "brownout-enter")
+	} else if f.brownout && mean <= d/2 {
+		f.brownout = false
+		f.brownoutSec += f.s.Now().Sub(f.brownoutSince).Seconds()
+		f.cfg.Decisions.AddRoute(f.s.Now(), 0, "router", "brownout-exit")
+	}
+}
+
+// installFaults compiles the chaos plan into replica-level hooks.
+func (f *fleet) installFaults() error {
+	if f.cfg.Faults == nil {
+		return nil
+	}
+	h := fault.Hooks{
+		ReplicaCrash: func(idx int) {
+			rp := f.replicas[idx]
+			if rp.Down() {
+				return
+			}
+			f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "replica-crash")
+			for _, q := range rp.Crash() {
+				st, ok := f.state[q.W.ID]
+				if !ok {
+					continue
+				}
+				f.wasted += q.PrefillDone + q.Generated
+				f.failover(st, q, "failover-crash")
+			}
+			f.pol.observeFailure(f, idx, 4)
+		},
+		ReplicaRestore: func(idx int) {
+			rp := f.replicas[idx]
+			if !rp.Down() {
+				return
+			}
+			rp.Restore()
+			f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "replica-restore")
+			f.drainParked()
+		},
+		SetReplicaSlowdown: func(idx int, factor float64) {
+			f.replicas[idx].SetSlowdown(factor)
+		},
+		SetPartition: func(idx int, partitioned bool) {
+			f.partitioned[idx] = partitioned
+			rp := f.replicas[idx]
+			if partitioned {
+				f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "partition-start")
+				// The replica keeps executing, but the router writes off
+				// its first-token-less requests as timed out and moves
+				// them; requests already streaming ride the partition out.
+				var move []uint64
+				for id, st := range f.state {
+					if st.replica == idx && !f.rec.HasFirstToken(id) {
+						move = append(move, id)
+					}
+				}
+				sort.Slice(move, func(a, b int) bool { return move[a] < move[b] })
+				for _, id := range move {
+					st := f.state[id]
+					q := rp.Evict(id)
+					if q == nil {
+						continue
+					}
+					f.wasted += q.PrefillDone + q.Generated
+					f.failover(st, q, "failover-partition")
+				}
+				f.pol.observeFailure(f, idx, 2)
+			} else {
+				f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "partition-heal")
+				f.drainParked()
+			}
+		},
+		SetLinkDegrade: func(frac float64) {
+			for _, rp := range f.replicas {
+				rp.DegradeLinks(frac)
+			}
+		},
+		Cancel: f.cancelFrac,
+	}
+	return fault.Apply(f.s, f.cfg.Faults, h)
+}
+
+// finish assembles the result.
+func (f *fleet) finish() *Result {
+	res := &Result{
+		Policy:       f.cfg.Policy,
+		Replicas:     f.cfg.NumReplicas,
+		Requests:     f.arrivals,
+		Unfinished:   f.rec.Outstanding(),
+		Rejected:     f.rejected,
+		FailedOver:   f.failovers,
+		WastedTokens: f.wasted,
+		Elapsed:      f.s.Now(),
+	}
+	if f.brownout {
+		f.brownoutSec += f.s.Now().Sub(f.brownoutSince).Seconds()
+		f.brownout = false
+	}
+	res.BrownoutSec = f.brownoutSec
+	res.Aborted = f.aborted
+	for _, rp := range f.replicas {
+		res.Aborted += rp.Aborted()
+	}
+	// Counted as completions fire, not derived — so the lifecycle
+	// partition (Completed+Aborted+Rejected+Unfinished == Requests) is a
+	// checkable invariant, not a tautology.
+	res.Completed = f.completed
+	// Recovered counts failed-over requests whose record closed normally:
+	// exactly-once semantics — a request is completed (and recovered) or
+	// aborted, never both.
+	for id := range f.recovered {
+		if !f.rec.InFlight(id) {
+			res.Recovered++
+		}
+	}
+	res.Recovered -= f.recoveredAborted()
+	if f.rec.Streaming() {
+		res.Summary = f.rec.StreamSummary()
+	} else {
+		res.Summary = metrics.Summarize(f.rec.Completed(), f.cfg.Replica.SLO)
+	}
+	for _, rp := range f.replicas {
+		st := rp.Stats(res.Elapsed)
+		res.LiveKVBlocks += st.LiveKVBlocks
+		res.TransferGB += st.TransferGB
+		res.MeanPrefillUtil += st.PrefillComputeUtil
+		res.MeanDecodeUtil += st.DecodeComputeUtil
+	}
+	res.MeanPrefillUtil /= float64(len(f.replicas))
+	res.MeanDecodeUtil /= float64(len(f.replicas))
+	res.RecoverySec = f.recoveryTimes()
+	return res
+}
+
+// recoveredAborted counts failed-over requests that later aborted — they
+// must not inflate Recovered.
+func (f *fleet) recoveredAborted() int {
+	n := 0
+	for _, r := range f.rec.Aborted() {
+		if f.recovered[r.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// recoveryTimes measures, for each replica-crash event, how long fleet
+// completion throughput took to return to ≥90% of its pre-crash
+// baseline (mean over the 10 s before the crash, judged over forward
+// 5 s windows). Purely virtual-time arithmetic — deterministic.
+func (f *fleet) recoveryTimes() []float64 {
+	if f.cfg.Faults == nil {
+		return nil
+	}
+	var out []float64
+	for _, e := range f.cfg.Faults.Events {
+		if e.Kind != fault.ReplicaCrash {
+			continue
+		}
+		out = append(out, f.recoveryAfter(float64(e.At)))
+	}
+	return out
+}
+
+func (f *fleet) recoveryAfter(crash float64) float64 {
+	mean := func(from, to int) float64 {
+		if from < 0 {
+			from = 0
+		}
+		if to > len(f.completions) {
+			to = len(f.completions)
+		}
+		if to <= from {
+			return 0
+		}
+		n := 0
+		for i := from; i < to; i++ {
+			n += f.completions[i]
+		}
+		return float64(n) / float64(to-from)
+	}
+	c := int(crash)
+	baseline := mean(c-10, c)
+	if baseline == 0 {
+		return 0 // nothing was flowing; trivially recovered
+	}
+	for t := c; t+5 <= len(f.completions); t++ {
+		if mean(t, t+5) >= 0.9*baseline {
+			return float64(t) - crash
+		}
+	}
+	return -1
+}

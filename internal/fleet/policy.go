@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"windserve/internal/sim"
+)
+
+// policy is a pluggable router: pick returns the replica index for the
+// next request (preferring not to return avoid, the replica a failover
+// just left), or -1 when no healthy replica exists. observeFailure feeds
+// health signals (timeouts, crashes, partitions) to policies that score.
+type policy interface {
+	name() string
+	pick(f *fleet, avoid int) int
+	observeFailure(f *fleet, idx int, weight float64)
+}
+
+func newPolicy(name string) (policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &roundRobin{}, nil
+	case "least-loaded":
+		return leastLoaded{}, nil
+	case "weighted":
+		return newWeighted(), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded, or weighted)", name)
+	}
+}
+
+// roundRobin rotates over healthy replicas — the static baseline.
+type roundRobin struct{ next int }
+
+func (p *roundRobin) name() string { return "round-robin" }
+
+func (p *roundRobin) pick(f *fleet, avoid int) int {
+	n := len(f.replicas)
+	fallback := -1
+	for k := 0; k < n; k++ {
+		i := (p.next + k) % n
+		if !f.healthy(i) {
+			continue
+		}
+		if i == avoid {
+			fallback = i
+			continue
+		}
+		p.next = (i + 1) % n
+		return i
+	}
+	if fallback >= 0 {
+		p.next = (fallback + 1) % n
+	}
+	return fallback
+}
+
+func (p *roundRobin) observeFailure(*fleet, int, float64) {}
+
+// leastLoaded routes to the healthy replica with the shallowest queue
+// (ties broken by in-flight count, then index) — load-aware, not
+// health-history-aware.
+type leastLoaded struct{}
+
+func (leastLoaded) name() string { return "least-loaded" }
+
+func (leastLoaded) pick(f *fleet, avoid int) int {
+	best, fallback := -1, -1
+	var bq, bi int
+	for i := range f.replicas {
+		if !f.healthy(i) {
+			continue
+		}
+		if i == avoid {
+			fallback = i
+			continue
+		}
+		q, fl := f.replicas[i].QueueDepth(), f.replicas[i].InFlight()
+		if best < 0 || q < bq || (q == bq && fl < bi) {
+			best, bq, bi = i, q, fl
+		}
+	}
+	if best < 0 {
+		return fallback
+	}
+	return best
+}
+
+func (leastLoaded) observeFailure(*fleet, int, float64) {}
+
+// weighted scores replicas on load plus an exponentially-decaying failure
+// penalty: every timeout, partition, or crash attributed to a replica
+// makes it less attractive for the next ~30 s of virtual time, so the
+// router steers around flapping or sick replicas before they are formally
+// declared down. Deterministic: the decay clock is virtual time.
+type weighted struct {
+	penalty []float64
+	stamped []sim.Time
+}
+
+func newWeighted() *weighted { return &weighted{} }
+
+func (p *weighted) name() string { return "weighted" }
+
+const penaltyDecaySec = 30.0
+
+func (p *weighted) ensure(n int) {
+	for len(p.penalty) < n {
+		p.penalty = append(p.penalty, 0)
+		p.stamped = append(p.stamped, 0)
+	}
+}
+
+func (p *weighted) decayed(i int, now sim.Time) float64 {
+	dt := now.Sub(p.stamped[i]).Seconds()
+	return p.penalty[i] * math.Exp(-dt/penaltyDecaySec)
+}
+
+func (p *weighted) pick(f *fleet, avoid int) int {
+	p.ensure(len(f.replicas))
+	now := f.s.Now()
+	best, fallback := -1, -1
+	var bs float64
+	for i := range f.replicas {
+		if !f.healthy(i) {
+			continue
+		}
+		if i == avoid {
+			fallback = i
+			continue
+		}
+		s := float64(f.replicas[i].QueueDepth()) +
+			0.1*float64(f.replicas[i].InFlight()) +
+			p.decayed(i, now)
+		if best < 0 || s < bs {
+			best, bs = i, s
+		}
+	}
+	if best < 0 {
+		return fallback
+	}
+	return best
+}
+
+func (p *weighted) observeFailure(f *fleet, idx int, weight float64) {
+	p.ensure(len(f.replicas))
+	now := f.s.Now()
+	p.penalty[idx] = p.decayed(idx, now) + 8*weight
+	p.stamped[idx] = now
+}

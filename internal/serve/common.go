@@ -57,16 +57,23 @@ type runner struct {
 }
 
 func newRunner(cfg Config) (*runner, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	cfg.fillDefaults()
 	rec := metrics.NewRecorder()
 	if cfg.Stream.Enabled {
 		rec = metrics.NewStreamingRecorder(cfg.SLO, cfg.Stream.MaxRecords)
 	}
+	return newRunnerOn(sim.New(), rec, cfg)
+}
+
+// newRunnerOn builds a runner on an existing simulator and recorder, so
+// several runners — one per fleet replica — can share a single virtual
+// clock and a single request ledger. The caller drives the simulation.
+func newRunnerOn(s *sim.Simulator, rec *metrics.Recorder, cfg Config) (*runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
 	return &runner{
-		s:         sim.New(),
+		s:         s,
 		rec:       rec,
 		cfg:       cfg,
 		live:      make(map[uint64]*engine.Req),

@@ -46,6 +46,10 @@ type Config struct {
 	// round-robin for DistServe.
 	NumPrefill int
 	NumDecode  int
+	// NamePrefix prepends every instance, link, and trace name — fleet
+	// replicas set "r<i>/" so names stay unique on a shared simulator.
+	// Empty (the default) keeps single-testbed names unchanged.
+	NamePrefix string
 
 	// BlockSize is the KV block granularity (tokens).
 	BlockSize int
@@ -268,18 +272,10 @@ func (c *Config) validate() error {
 		if nd == 0 {
 			nd = 1
 		}
-		for i, e := range c.Faults.Events {
-			if e.Kind != fault.Crash && e.Kind != fault.Slowdown {
-				continue
-			}
-			limit := np
-			if e.Role == fault.RoleDecode {
-				limit = nd
-			}
-			if e.Instance >= limit {
-				return fmt.Errorf("serve: fault event %d (%s) targets instance %d of %d %s instances",
-					i, e, e.Instance, limit, e.Role)
-			}
+		// A single-testbed run has no replica tier, so replica-granularity
+		// events (rcrash/rslow/rpart) are rejected here too.
+		if err := c.Faults.ValidateTargets(np, nd, 0); err != nil {
+			return fmt.Errorf("serve: %w", err)
 		}
 	}
 	return nil

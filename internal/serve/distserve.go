@@ -125,20 +125,21 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		prefillAt: make(map[uint64]int),
 		decodeAt:  make(map[uint64]int),
 	}
+	px := cfg.NamePrefix
 	d.p2d = make([][]*xfer.Link, cfg.NumPrefill)
 	d.d2p = make([][]*xfer.Link, cfg.NumDecode)
 	for i := range d.p2d {
 		d.p2d[i] = make([]*xfer.Link, cfg.NumDecode)
 		for j := range d.p2d[i] {
 			spec := cluster.TransferLink(cfg.Topo, pAsg[i], dAsg[j])
-			d.p2d[i][j] = xfer.NewLink(r.s, fmt.Sprintf("p%d-d%d", i, j), spec, xfer.DefaultEfficiency)
+			d.p2d[i][j] = xfer.NewLink(r.s, fmt.Sprintf("%sp%d-d%d", px, i, j), spec, xfer.DefaultEfficiency)
 		}
 	}
 	for j := range d.d2p {
 		d.d2p[j] = make([]*xfer.Link, cfg.NumPrefill)
 		for i := range d.d2p[j] {
 			spec := cluster.TransferLink(cfg.Topo, dAsg[j], pAsg[i])
-			d.d2p[j][i] = xfer.NewLink(r.s, fmt.Sprintf("d%d-p%d", j, i), spec, xfer.DefaultEfficiency)
+			d.d2p[j][i] = xfer.NewLink(r.s, fmt.Sprintf("%sd%d-p%d", px, j, i), spec, xfer.DefaultEfficiency)
 		}
 	}
 
@@ -147,7 +148,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		if err != nil {
 			return nil, err
 		}
-		host := xfer.NewLink(r.s, fmt.Sprintf("prefill%d-host", i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		host := xfer.NewLink(r.s, fmt.Sprintf("%sprefill%d-host", px, i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
 		hooks.OnPrefillStart = func(q *engine.Req) {
 			r.rec.PrefillStart(q.W.ID, r.s.Now())
@@ -169,7 +170,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 			}
 		}
 		ins, err := engine.NewInstance(r.s, engine.Config{
-			Name: fmt.Sprintf("prefill-%d", i), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
+			Name: fmt.Sprintf("%sprefill-%d", px, i), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
 			AllowPrefill: true, ChunkSize: cfg.ChunkSize,
 			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
 		}, hooks)
@@ -185,7 +186,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		if err != nil {
 			return nil, err
 		}
-		host := xfer.NewLink(r.s, fmt.Sprintf("decode%d-host", j), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		host := xfer.NewLink(r.s, fmt.Sprintf("%sdecode%d-host", px, j), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
 		hooks.OnPrefillDone = func(q *engine.Req) {
 			// Only reachable for dispatched assists (WindServe): the first
@@ -216,7 +217,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 			d.retryTransfers()
 		}
 		ins, err := engine.NewInstance(r.s, engine.Config{
-			Name: fmt.Sprintf("decode-%d", j), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
+			Name: fmt.Sprintf("%sdecode-%d", px, j), CM: a.CM, KV: kv, HostLink: host, Tracer: cfg.Tracer,
 			AllowPrefill: ph.decodeAllowPrefill, ChunkSize: cfg.ChunkSize,
 			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
 			SBD: ph.decodeSBD,
@@ -295,10 +296,12 @@ func (d *pd) nominalP2DRate() float64 {
 
 // serialTransfer is DistServe's path: after prefill, allocate at a decode
 // instance (or queue until blocks free), then occupy the link for the
-// full payload; only then may decoding start.
+// full payload; only then may decoding start. A new request queues behind
+// anything already waiting — FCFS holds even when blocks freed since the
+// last retry would let the newcomer allocate immediately.
 func (d *pd) serialTransfer(q *engine.Req) {
 	q.Phase = engine.PhaseTransferring
-	if !d.tryStartTransfer(q) {
+	if len(d.transferPending) > 0 || !d.tryStartTransfer(q) {
 		d.transferPending = append(d.transferPending, q)
 	}
 }
@@ -324,17 +327,18 @@ func (d *pd) tryStartTransfer(q *engine.Req) bool {
 			bytes := d.kvBytes(q.Ctx())
 			d.p2d[i][j].Transfer(bytes, func() {
 				d.observeTransfer(bytes, start)
-				d.cfg.Tracer.Add(fmt.Sprintf("link p%d-d%d", i, j), trace.KindKVTransfer, start, d.r.s.Now(),
+				d.cfg.Tracer.Add(fmt.Sprintf("link %sp%d-d%d", d.cfg.NamePrefix, i, j), trace.KindKVTransfer, start, d.r.s.Now(),
 					fmt.Sprintf("req%d %d tokens", q.W.ID, q.Ctx()))
 				d.prefills[i].ReleaseKV(q)
 				if q.Phase == engine.PhaseAborted {
 					d.releaseAt(d.decodes[j], q)
 					return
 				}
-				if d.decodes[j].Down() {
-					// The target crashed while the payload was in flight (its
-					// KV reset dropped the allocation). Re-route through the
-					// serial path to a surviving instance.
+				if d.decodes[j].Down() || !d.decodes[j].KV().Has(q.KVID()) {
+					// The target crashed while the payload was in flight — its
+					// KV reset dropped the allocation — and may even have
+					// restored already with empty blocks. Re-route through the
+					// serial path to an instance holding a fresh allocation.
 					delete(d.decodeAt, q.W.ID)
 					d.serialTransfer(q)
 					return

@@ -81,6 +81,68 @@ func TestPropertySystemInvariants(t *testing.T) {
 	}
 }
 
+// TestPropertyLifecyclePartitionUnderFaults checks exactly-once
+// accounting when requests are aborted, rejected, and crash-recovered
+// mid-flight: every submitted request ends in exactly one of the four
+// lifecycle states, no ID appears in more than one record list, and a
+// recovered (re-prefilled) request is never counted as both aborted and
+// completed — the invariant the fleet failover path builds on.
+func TestPropertyLifecyclePartitionUnderFaults(t *testing.T) {
+	systems := []struct {
+		name string
+		run  runFn
+	}{
+		{"vLLM", RunVLLM}, {"DistServe", RunDistServe}, {"WindServe", RunWindServe},
+	}
+	plans := []string{
+		"crash:d0@20+10; cancel@25x0.2",
+		"crash:p0@15+10; slow:d0@10x3+30",
+		"degrade@10x0.2+30; cancel@12x0.3; crash:d0@35+5",
+	}
+	for trial, spec := range plans {
+		cfg := cfg13B(t)
+		cfg.Horizon = sim.Seconds(600)
+		cfg.Shed = ShedPolicy{MaxQueueDepth: 64, TTFTDeadline: sim.Seconds(30)}
+		cfg.Faults = mustPlan(t, int64(trial)+1, spec)
+		reqs := trace13B(4, 200, int64(trial)+100)
+		for _, sys := range systems {
+			res, err := sys.run(cfg, reqs)
+			if err != nil {
+				t.Fatalf("plan %d %s: %v", trial, sys.name, err)
+			}
+			completed := len(res.Records)
+			if got := completed + res.Aborted + res.Rejected + res.Unfinished; got != len(reqs) {
+				t.Fatalf("plan %d %s: partition broken: %d completed + %d aborted + %d rejected + %d unfinished != %d",
+					trial, sys.name, completed, res.Aborted, res.Rejected, res.Unfinished, len(reqs))
+			}
+			if len(res.AbortedRecords) != res.Aborted || len(res.RejectedRecords) != res.Rejected {
+				t.Fatalf("plan %d %s: record lists disagree with counters", trial, sys.name)
+			}
+			state := map[uint64]string{}
+			note := func(id uint64, s string) {
+				if prev, ok := state[id]; ok {
+					t.Fatalf("plan %d %s: request %d counted as both %s and %s",
+						trial, sys.name, id, prev, s)
+				}
+				state[id] = s
+			}
+			for _, r := range res.Records {
+				note(r.ID, "completed")
+			}
+			for _, r := range res.AbortedRecords {
+				note(r.ID, "aborted")
+			}
+			for _, r := range res.RejectedRecords {
+				note(r.ID, "rejected")
+			}
+			if res.Recovered > completed+res.Aborted {
+				t.Fatalf("plan %d %s: recovered %d exceeds finalized in-flight requests",
+					trial, sys.name, res.Recovered)
+			}
+		}
+	}
+}
+
 // TestSameTraceAcrossSystems checks that system comparison is apples to
 // apples: all systems consume the identical arrival times.
 func TestSameTraceAcrossSystems(t *testing.T) {

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"windserve/internal/engine"
+	"windserve/internal/kvcache"
+	"windserve/internal/metrics"
+	"windserve/internal/sim"
+	"windserve/internal/workload"
+)
+
+// Replica is one fleet member: a complete DistServe-style prefill/decode
+// group living on a simulator and recorder shared with its siblings. The
+// fleet router owns the request lifecycle — arrivals, admission, deadline
+// aborts, failover — and a Replica only executes what is submitted to it.
+// Intra-replica routing stays what DistServe does (round-robin prefill,
+// round-robin transfer), and every decision still flows through the
+// shared DecisionLog under the replica's NamePrefix.
+type Replica struct {
+	name string
+	r    *runner
+	d    *pd
+	down bool
+}
+
+// NewReplica plans one replica on the shared simulator and recorder.
+// cfg.NamePrefix (e.g. "r3/") keeps instance, link, and trace names
+// unique across the fleet; cfg.Shed and cfg.Faults must be zero — the
+// router owns shedding, and fault plans compile at the fleet level.
+// onComplete (optional) fires once per request after its record closes,
+// so the router can retire its own bookkeeping.
+func NewReplica(s *sim.Simulator, rec *metrics.Recorder, cfg Config, onComplete func(q *engine.Req)) (*Replica, error) {
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("serve: replica %q: fault plans attach to the fleet, not a replica", cfg.NamePrefix)
+	}
+	if cfg.Shed != (ShedPolicy{}) {
+		return nil, fmt.Errorf("serve: replica %q: shedding is the router's job; leave Shed zero", cfg.NamePrefix)
+	}
+	r, err := newRunnerOn(s, rec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = r.cfg
+	d, err := newPD(r, cfg, pdHooks{onComplete: onComplete})
+	if err != nil {
+		return nil, fmt.Errorf("serve: planning replica %q: %w", cfg.NamePrefix, err)
+	}
+	r.queueDepth = d.queueDepth
+	r.onAbort = d.abort
+	name := strings.TrimSuffix(cfg.NamePrefix, "/")
+	if name == "" {
+		name = "replica"
+	}
+	return &Replica{name: name, r: r, d: d}, nil
+}
+
+func (rp *Replica) Name() string { return rp.name }
+
+// Down reports whether the replica is crashed at the fleet level (between
+// Crash and Restore). A partitioned replica is NOT down — it keeps
+// executing; only the router stops talking to it.
+func (rp *Replica) Down() bool { return rp.down }
+
+// QueueDepth is the replica's load signal: requests waiting for prefill
+// anywhere plus prefilled requests stuck waiting for decode KV.
+func (rp *Replica) QueueDepth() int { return rp.d.queueDepth() }
+
+// InFlight is the number of requests currently owned by this replica.
+func (rp *Replica) InFlight() int { return len(rp.r.live) }
+
+// Submit hands a request to the replica. The router has already recorded
+// the arrival; a failover submits a fresh request object under the same
+// ID, which the first-call-wins recorder folds into the original record.
+func (rp *Replica) Submit(w workload.Request) {
+	q := engine.NewReq(w)
+	rp.r.live[w.ID] = q
+	rp.d.prefillRR(q)
+}
+
+// Abort terminates a request owned by this replica: the record finalizes
+// as aborted and the engines scrub it. No-op if the request already left.
+func (rp *Replica) Abort(id uint64) { rp.r.abortReq(id) }
+
+// Evict removes a request from this replica WITHOUT finalizing its
+// record — the failover path. The returned request carries the work lost
+// with it (PrefillDone + Generated tokens); nil if the request is not
+// live here. The router resubmits the same workload request elsewhere.
+func (rp *Replica) Evict(id uint64) *engine.Req {
+	q, ok := rp.r.live[id]
+	if !ok {
+		return nil
+	}
+	delete(rp.r.live, id)
+	q.Phase = engine.PhaseAborted
+	rp.d.abort(q)
+	return q
+}
+
+// Crash takes the whole replica down: every instance loses its KV and
+// in-flight passes, and every request still owned here is orphaned. The
+// orphans come back in ID order (deterministic), already scrubbed and
+// phase-aborted, with their lost work readable off PrefillDone/Generated;
+// their records stay open so the router can fail them over.
+func (rp *Replica) Crash() []*engine.Req {
+	rp.down = true
+	for _, ins := range rp.d.prefills {
+		if !ins.Down() {
+			ins.Crash()
+		}
+	}
+	for _, ins := range rp.d.decodes {
+		if !ins.Down() {
+			ins.Crash()
+		}
+	}
+	ids := make([]uint64, 0, len(rp.r.live))
+	for id := range rp.r.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	orphans := make([]*engine.Req, 0, len(ids))
+	for _, id := range ids {
+		q := rp.r.live[id]
+		delete(rp.r.live, id)
+		q.Phase = engine.PhaseAborted
+		orphans = append(orphans, q)
+	}
+	rp.d.transferPending = rp.d.transferPending[:0]
+	clear(rp.d.prefillAt)
+	clear(rp.d.decodeAt)
+	return orphans
+}
+
+// Restore brings a crashed replica back with empty caches.
+func (rp *Replica) Restore() {
+	rp.down = false
+	for _, ins := range rp.d.prefills {
+		ins.Restore()
+	}
+	for _, ins := range rp.d.decodes {
+		ins.Restore()
+	}
+}
+
+// SetSlowdown scales every instance's compute time (1 restores nominal) —
+// the whole-replica slow-node fault.
+func (rp *Replica) SetSlowdown(factor float64) {
+	for _, ins := range rp.d.prefills {
+		ins.SetSlowdown(factor)
+	}
+	for _, ins := range rp.d.decodes {
+		ins.SetSlowdown(factor)
+	}
+}
+
+// DegradeLinks scales the replica's cross-instance bandwidth.
+func (rp *Replica) DegradeLinks(frac float64) { rp.d.degradeLinks(frac) }
+
+// Aborted is how many requests this replica terminated via Abort.
+func (rp *Replica) Aborted() int { return rp.r.aborted }
+
+// ReplicaStats is a replica's contribution to fleet-level accounting.
+type ReplicaStats struct {
+	LiveKVBlocks        int // nonzero after drain = leak
+	PrefillKV, DecodeKV kvcache.Stats
+	PrefillComputeUtil  float64
+	DecodeComputeUtil   float64
+	TransferGB          float64
+}
+
+// Stats reads the replica's end-of-run accounting; utilizations are means
+// over the elapsed span, averaged across the replica's instances.
+func (rp *Replica) Stats(elapsed sim.Time) ReplicaStats {
+	var st ReplicaStats
+	var pcu, dcu float64
+	for _, ins := range rp.d.prefills {
+		addStats(&st.PrefillKV, ins.KV().Stats())
+		st.LiveKVBlocks += ins.KV().UsedBlocks()
+		c, _ := utilization(ins, elapsed)
+		pcu += c
+	}
+	for _, ins := range rp.d.decodes {
+		addStats(&st.DecodeKV, ins.KV().Stats())
+		st.LiveKVBlocks += ins.KV().UsedBlocks()
+		c, _ := utilization(ins, elapsed)
+		dcu += c
+	}
+	st.PrefillComputeUtil = pcu / float64(len(rp.d.prefills))
+	st.DecodeComputeUtil = dcu / float64(len(rp.d.decodes))
+	for i := range rp.d.p2d {
+		for j := range rp.d.p2d[i] {
+			st.TransferGB += rp.d.p2d[i][j].BytesMoved / 1e9
+		}
+	}
+	for j := range rp.d.d2p {
+		for i := range rp.d.d2p[j] {
+			st.TransferGB += rp.d.d2p[j][i].BytesMoved / 1e9
+		}
+	}
+	return st
+}

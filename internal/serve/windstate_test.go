@@ -26,7 +26,7 @@ func newWindStateForTest(t *testing.T) *windState {
 	}
 	return &windState{
 		r: r, cfg: r.cfg, d: d,
-		coord: &sched.Coordinator{Prof: prof, Thrd: r.cfg.SLO.TTFT},
+		coord:          &sched.Coordinator{Prof: prof, Thrd: r.cfg.SLO.TTFT},
 		async:          make(map[uint64]*asyncXfer),
 		migrations:     make(map[uint64]*migration),
 		backupInFlight: make(map[uint64]bool),

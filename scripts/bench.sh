@@ -15,7 +15,8 @@ out=${1:-BENCH_sim.json}
 micro_txt=$(mktemp)
 exhibit_txt=$(mktemp)
 mega_txt=$(mktemp)
-trap 'rm -f "$micro_txt" "$exhibit_txt" "$mega_txt"' EXIT
+fleet_txt=$(mktemp)
+trap 'rm -f "$micro_txt" "$exhibit_txt" "$mega_txt" "$fleet_txt"' EXIT
 
 echo "== micro-benchmarks (sim, metrics, perf, stats) ==" >&2
 go test -run '^$' -bench 'SimulatorScheduleFire|Summarize|OpenIDs|IterTime|EventQueue|ServeSteady|P2Add|PercentilesOf' \
@@ -40,7 +41,15 @@ echo "serial ${serial}s  parallel ${parallel}s  ($(nproc) cores)" >&2
 echo "== ext-mega: million-request streaming horizon ==" >&2
 /tmp/windbench.bench ext-mega | tee "$mega_txt" >&2
 
-MICRO="$micro_txt" EXHIBIT="$exhibit_txt" MEGA="$mega_txt" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
+echo "== ext-fleet-chaos: 16-replica fleet under seeded chaos ==" >&2
+t5=$(date +%s.%N)
+/tmp/windbench.bench ext-fleet-chaos | tee "$fleet_txt" >&2
+t6=$(date +%s.%N)
+fleet_wall=$(echo "$t6 $t5" | awk '{printf "%.3f", $1 - $2}')
+echo "ext-fleet-chaos wall clock ${fleet_wall}s" >&2
+
+MICRO="$micro_txt" EXHIBIT="$exhibit_txt" MEGA="$mega_txt" FLEET="$fleet_txt" \
+FLEET_WALL="$fleet_wall" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
 python3 - <<'EOF'
 import json, os, re
 
@@ -77,6 +86,26 @@ def parse_mega(path):
         })
     return rows
 
+def parse_fleet(path):
+    rows = []
+    for line in open(path):
+        m = re.match(r'^(round-robin|least-loaded|weighted)\s+(on|off)\s+(\d+)'
+                     r'\s+(\d+)\s+(\d+)\s+([\d.]+)%\s+([\d.]+)\s+(\d+)\s+(\d+)'
+                     r'\s+(\d+)\s+(\S+)\s+([\d.]+)', line)
+        if not m:
+            continue
+        rows.append({
+            "policy": m.group(1), "chaos": m.group(2) == "on",
+            "completed": int(m.group(3)),
+            "aborted": int(m.group(4)), "rejected": int(m.group(5)),
+            "slo_attainment": float(m.group(6)) / 100,
+            "goodput_rps": float(m.group(7)),
+            "failovers": int(m.group(8)), "recovered": int(m.group(9)),
+            "wasted_tokens": int(m.group(10)),
+            "recovery_s": m.group(11), "brownout_s": float(m.group(12)),
+        })
+    return rows
+
 micro = parse(os.environ["MICRO"])
 ns = {r["name"]: r["ns_per_op"] for r in micro}
 heap_ns = ns.get("BenchmarkEventQueueHeap10k")
@@ -102,6 +131,19 @@ doc = {
         "note": "peak_heap_mb is the high-water HeapAlloc sampled every 5ms; "
                 "streaming rows hold O(in-flight + retained records) "
                 "regardless of horizon length",
+    },
+    "ext_fleet_chaos": {
+        "args": "ext-fleet-chaos (16 replicas, 100,000 requests, "
+                "3 policies x {clean, chaos})",
+        "wall_seconds": float(os.environ["FLEET_WALL"]),
+        "requests_per_wall_second": round(
+            sum(r["completed"] + r["aborted"] + r["rejected"]
+                for r in parse_fleet(os.environ["FLEET"]))
+            / float(os.environ["FLEET_WALL"]), 1),
+        "rows": parse_fleet(os.environ["FLEET"]),
+        "note": "goodput/SLO/recovery are virtual-time quantities and "
+                "byte-identical per seed; requests_per_wall_second is the "
+                "simulator's sustained throughput across all six runs",
     },
     "exhibits": parse(os.environ["EXHIBIT"]),
     "windbench_all": {
