@@ -37,6 +37,8 @@ func run() int {
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
 	fleetN := flag.Int("fleet", 16, "replica count for ext-fleet-chaos")
+	scenarioName := flag.String("scenario", "", "restrict ext-scenarios to one named workload scenario (chat, rag, agentic, reasoning, diurnal)")
+	prefixCache := flag.Bool("prefixcache", false, "restrict ext-scenarios to its prefix-caching-on configurations")
 	chaos := flag.String("chaos", "", `chaos plan for ext-fleet-chaos, e.g. "rcrash:r0@60+30; rslow:r1@90x8+60" (default: a crash+partition+slow+cancel schedule scaled to the run)`)
 	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
 	decisionsPath := flag.String("decisions", "", "write the traced capture's scheduler decision log here as JSONL")
@@ -56,10 +58,14 @@ func run() int {
 	o.MegaRequests = 1_000_000
 	o.FleetRequests = 100_000
 	o.FleetReplicas = *fleetN
+	o.ScenarioRequests = 5_000
+	o.Scenario = *scenarioName
+	o.PrefixCache = *prefixCache
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "n" {
 			o.MegaRequests = *n
 			o.FleetRequests = *n
+			o.ScenarioRequests = *n
 		}
 	})
 
@@ -164,16 +170,18 @@ func run() int {
 			_, err := bench.ExpFleetChaos(o, w, chaosPlan)
 			return err
 		},
+		"ext-scenarios": func(w io.Writer) error { _, err := bench.ExpScenarios(o, w); return err },
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
 		for k := range exhibits {
-			// ext-mega's and ext-fleet-chaos's runtimes scale with -n
-			// (defaults of a million and a hundred thousand requests), so
-			// they only run when named explicitly.
-			if k == "ext-mega" || k == "ext-fleet-chaos" {
+			// ext-mega's, ext-fleet-chaos's, and ext-scenarios's runtimes
+			// scale with -n (defaults of a million, a hundred thousand, and
+			// five thousand requests over a 20-run grid), so they only run
+			// when named explicitly.
+			if k == "ext-mega" || k == "ext-fleet-chaos" || k == "ext-scenarios" {
 				continue
 			}
 			args = append(args, k)
@@ -281,6 +289,11 @@ extensions (not paper exhibits):
                  work, and crash-recovery time (not part of "all"; size with
                  -fleet and -n, override the plan with -chaos
                  "rcrash:r0@60+30; rpart:r1@90+20")
+  ext-scenarios  named workload scenarios (chat, rag, agentic, reasoning,
+                 diurnal) × {prefix cache off/on} × {prefix-affinity routing
+                 off/on}: goodput, TTFT, SLO, and prefix-cache hit ratio per
+                 traffic class (not part of "all"; restrict with -scenario
+                 and -prefixcache, size with -n)
 
 flags:
 `)

@@ -46,6 +46,14 @@ type Options struct {
 	FleetRequests int
 	// FleetReplicas sets ExpFleetChaos's replica count; <= 0 means 16.
 	FleetReplicas int
+	// ScenarioRequests sizes ExpScenarios's runs; <= 0 means 5,000.
+	ScenarioRequests int
+	// Scenario restricts ExpScenarios to one named workload scenario;
+	// empty runs the whole library.
+	Scenario string
+	// PrefixCache restricts ExpScenarios to its prefix-caching-on
+	// configurations (skipping the cache-off baselines).
+	PrefixCache bool
 }
 
 // DefaultOptions returns the sizes used for the committed EXPERIMENTS.md.

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// scenarioSmall sizes ExpScenarios for tests: the full scenario × cache ×
+// affinity grid on short traces.
+func scenarioSmall() Options {
+	o := small()
+	o.ScenarioRequests = 300
+	return o
+}
+
+func TestExpScenarios(t *testing.T) {
+	var sb strings.Builder
+	rows, err := ExpScenarios(scenarioSmall(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("got %d rows, want 20 (5 scenarios × cache off/on × affinity off/on)", len(rows))
+	}
+	byKey := map[[3]string]ScenarioRow{}
+	for _, r := range rows {
+		byKey[[3]string{r.Scenario, onOff(r.Cache), onOff(r.Affinity)}] = r
+		if !r.Cache && r.HitRatio != 0 {
+			t.Errorf("%s cache=off: nonzero hit ratio %v", r.Scenario, r.HitRatio)
+		}
+	}
+	// The session scenarios must actually hit the cache, and the hits must
+	// buy TTFT: the exhibit's headline claim, enforced as a test.
+	for _, name := range []string{"chat", "rag", "agentic"} {
+		off := byKey[[3]string{name, "off", "off"}]
+		on := byKey[[3]string{name, "on", "off"}]
+		if on.HitRatio <= 0 {
+			t.Errorf("%s: cache-on run recorded no prefix hits", name)
+		}
+		if on.TTFTP50Ms >= off.TTFTP50Ms {
+			t.Errorf("%s: cache did not improve TTFT p50 (%.1fms on vs %.1fms off)",
+				name, on.TTFTP50Ms, off.TTFTP50Ms)
+		}
+	}
+	// Scenarios without prefix identity must be unaffected by either knob.
+	base := byKey[[3]string{"reasoning", "off", "off"}]
+	for _, cache := range []string{"off", "on"} {
+		for _, aff := range []string{"off", "on"} {
+			r := byKey[[3]string{"reasoning", cache, aff}]
+			if r.HitRatio != 0 || r.TTFTP50Ms != base.TTFTP50Ms || r.Completed != base.Completed {
+				t.Errorf("reasoning cache=%s affinity=%s drifted from baseline: %+v", cache, aff, r)
+			}
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"chat", "rag", "agentic", "reasoning", "diurnal", "hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestExpScenariosFilters: -scenario and -prefixcache restrict the grid.
+func TestExpScenariosFilters(t *testing.T) {
+	o := scenarioSmall()
+	o.Scenario = "chat"
+	o.PrefixCache = true
+	var sb strings.Builder
+	rows, err := ExpScenarios(o, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one scenario, cache on only, affinity off/on)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenario != "chat" || !r.Cache {
+			t.Errorf("filtered grid leaked row %+v", r)
+		}
+	}
+	o.Scenario = "no-such-scenario"
+	if _, err := ExpScenarios(o, &sb); err == nil {
+		t.Fatal("unknown scenario name did not error")
+	}
+}
+
+// TestScenariosParallelByteIdentical extends the runner contract to the
+// scenario exhibit: serial and fanned-out execution print the same bytes —
+// the property the CI scenarios-smoke job enforces end to end.
+func TestScenariosParallelByteIdentical(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4} {
+		o := scenarioSmall()
+		o.Parallel = workers
+		var sb strings.Builder
+		if _, err := ExpScenarios(o, &sb); err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = sb.String()
+			continue
+		}
+		if got := sb.String(); got != want {
+			t.Errorf("parallel=%d output differs from serial\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -605,6 +605,9 @@ func (ins *Instance) fillWholePrompts(b *perf.Batch, plan *passPlan) {
 		if !ins.ensureKV(r) {
 			break // head-of-line blocks until space frees
 		}
+		if rem := r.PrefillRemaining(); rem < n {
+			n = rem // a prefix-cache hit during allocation shrank the prefill
+		}
 		seg := perf.PrefillSeg{NewTokens: n, CtxBefore: r.PrefillDone}
 		b.Prefill = append(b.Prefill, seg)
 		plan.prefillSegs = append(plan.prefillSegs, prefillSeg{r: r, tokens: n})
@@ -644,10 +647,44 @@ func (ins *Instance) fillChunked(b *perf.Batch, plan *passPlan) {
 
 // ensureKV allocates prompt+1 tokens for a request about to prefill here.
 func (ins *Instance) ensureKV(r *Req) bool {
-	if ins.cfg.KV.Has(r.KVID()) {
+	return ins.AllocatePrefillKV(r)
+}
+
+// AllocatePrefillKV reserves KV for a request about to prefill on this
+// instance. With prefix caching enabled on the manager and prefix
+// identity on the request, shared blocks are acquired instead of fresh
+// ones: hit tokens count as already prefilled (shrinking the prefill
+// work by the hit length), and any hit blocks demoted to the host tier
+// charge their PCIe restore time as a swap-in stall before the pass
+// runs. Exported so the serve layer's decode-side assist path allocates
+// through the same logic.
+func (ins *Instance) AllocatePrefillKV(r *Req) bool {
+	kv := ins.cfg.KV
+	if kv.Has(r.KVID()) {
 		return true
 	}
-	return ins.cfg.KV.Allocate(r.KVID(), r.W.PromptTokens+1) == nil
+	if kv.PrefixEnabled() && r.W.PrefixGroup != 0 && r.PrefillDone == 0 {
+		acq, err := kv.AllocatePrefixed(r.KVID(), r.W.PromptTokens+1, r.W.PrefixGroup, r.W.PrefixTokens)
+		if err != nil {
+			return false
+		}
+		if hit := acq.HitTokens; hit > 0 {
+			// At least the last prompt token is always computed.
+			if hit > r.W.PromptTokens-1 {
+				hit = r.W.PromptTokens - 1
+			}
+			r.PrefixHit = hit
+			r.PrefillDone = hit
+		}
+		if acq.RestoredTokens > 0 {
+			if ins.cfg.HostLink != nil {
+				ins.cfg.HostLink.AccountBytes(float64(acq.RestoredTokens) * ins.cfg.CM.Cfg.KVBytesPerToken())
+			}
+			ins.stall(ins.swapTime(acq.RestoredTokens), trace.KindSwapIn, r)
+		}
+		return true
+	}
+	return kv.Allocate(r.KVID(), r.W.PromptTokens+1) == nil
 }
 
 func (ins *Instance) startPrefillOnce(r *Req) {
@@ -808,6 +845,7 @@ func (ins *Instance) evict(r *Req) {
 	ins.Recomputes++
 	ins.ReleaseKV(r)
 	r.PrefillDone = 0
+	r.PrefixHit = 0
 	r.Migrating = false
 	if ins.hooks.OnEvicted != nil {
 		r.Phase = PhaseWaiting

@@ -80,6 +80,13 @@ type Req struct {
 	// BackupTokens is how many context tokens are already backed up at the
 	// prefill instance (reduces migration cost, paper §3.3).
 	BackupTokens int
+	// PrefixHit is how many prompt tokens were satisfied from the
+	// cross-request prefix cache when this request's KV was allocated:
+	// they start out counted in PrefillDone, so prefill compute shrinks
+	// by the hit length. Zero unless prefix caching is enabled. Reset
+	// alongside PrefillDone when a crash or recompute-eviction forces a
+	// scratch re-prefill.
+	PrefixHit int
 	// Evictions counts preemptions (swap-outs and recompute evictions).
 	Evictions int
 

@@ -21,6 +21,7 @@ import (
 
 	"windserve/internal/engine"
 	"windserve/internal/fault"
+	"windserve/internal/kvcache"
 	"windserve/internal/metrics"
 	"windserve/internal/sched"
 	"windserve/internal/serve"
@@ -107,9 +108,14 @@ type Result struct {
 	Elapsed sim.Time
 	Summary metrics.Summary
 
-	// LiveKVBlocks nonzero with Unfinished == 0 means a leak.
+	// LiveKVBlocks nonzero with Unfinished == 0 means a leak — except
+	// under prefix caching, where resident cached blocks are expected to
+	// outlive their requests.
 	LiveKVBlocks int
 	TransferGB   float64
+	// PrefillKV / DecodeKV aggregate KV-manager counters across replicas
+	// (prefix-cache hit ratios for the scenario exhibit come from here).
+	PrefillKV, DecodeKV kvcache.Stats
 
 	MeanPrefillUtil, MeanDecodeUtil float64
 }
@@ -308,7 +314,7 @@ func (f *fleet) admit(w workload.Request) {
 // overrides the policy's decision label — failover paths pass theirs.
 func (f *fleet) route(st *reqState, reason string) {
 	avoid := st.replica
-	j := f.pol.pick(f, avoid)
+	j := f.pol.pick(f, st.w, avoid)
 	if j < 0 {
 		st.replica = -1
 		f.parked = append(f.parked, st.w.ID)
@@ -623,6 +629,8 @@ func (f *fleet) finish() *Result {
 		st := rp.Stats(res.Elapsed)
 		res.LiveKVBlocks += st.LiveKVBlocks
 		res.TransferGB += st.TransferGB
+		res.PrefillKV.Accumulate(st.PrefillKV)
+		res.DecodeKV.Accumulate(st.DecodeKV)
 		res.MeanPrefillUtil += st.PrefillComputeUtil
 		res.MeanDecodeUtil += st.DecodeComputeUtil
 	}

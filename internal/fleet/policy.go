@@ -5,15 +5,18 @@ import (
 	"math"
 
 	"windserve/internal/sim"
+	"windserve/internal/workload"
 )
 
 // policy is a pluggable router: pick returns the replica index for the
 // next request (preferring not to return avoid, the replica a failover
-// just left), or -1 when no healthy replica exists. observeFailure feeds
-// health signals (timeouts, crashes, partitions) to policies that score.
+// just left), or -1 when no healthy replica exists. The request being
+// routed is passed so affinity policies can read its session identity;
+// load-only policies ignore it. observeFailure feeds health signals
+// (timeouts, crashes, partitions) to policies that score.
 type policy interface {
 	name() string
-	pick(f *fleet, avoid int) int
+	pick(f *fleet, w workload.Request, avoid int) int
 	observeFailure(f *fleet, idx int, weight float64)
 }
 
@@ -25,8 +28,10 @@ func newPolicy(name string) (policy, error) {
 		return leastLoaded{}, nil
 	case "weighted":
 		return newWeighted(), nil
+	case "prefix-affinity":
+		return prefixAffinity{}, nil
 	default:
-		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded, or weighted)", name)
+		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded, weighted, or prefix-affinity)", name)
 	}
 }
 
@@ -35,7 +40,7 @@ type roundRobin struct{ next int }
 
 func (p *roundRobin) name() string { return "round-robin" }
 
-func (p *roundRobin) pick(f *fleet, avoid int) int {
+func (p *roundRobin) pick(f *fleet, _ workload.Request, avoid int) int {
 	n := len(f.replicas)
 	fallback := -1
 	for k := 0; k < n; k++ {
@@ -65,7 +70,7 @@ type leastLoaded struct{}
 
 func (leastLoaded) name() string { return "least-loaded" }
 
-func (leastLoaded) pick(f *fleet, avoid int) int {
+func (leastLoaded) pick(f *fleet, _ workload.Request, avoid int) int {
 	best, fallback := -1, -1
 	var bq, bi int
 	for i := range f.replicas {
@@ -94,6 +99,14 @@ func (leastLoaded) observeFailure(*fleet, int, float64) {}
 // makes it less attractive for the next ~30 s of virtual time, so the
 // router steers around flapping or sick replicas before they are formally
 // declared down. Deterministic: the decay clock is virtual time.
+//
+// Each replica's penalty carries its own timestamp: an observation on
+// replica A folds A's elapsed decay into A's stored value and re-stamps
+// only A, so interleaved failures across replicas can never under-decay
+// (or skip decaying) another replica's penalty. Penalties saturate at
+// penaltyCap so sustained chaos — hundreds of timeouts against one
+// replica — cannot accumulate a value the replica would need hours to
+// decay out of (or, pathologically, overflow).
 type weighted struct {
 	penalty []float64
 	stamped []sim.Time
@@ -103,7 +116,16 @@ func newWeighted() *weighted { return &weighted{} }
 
 func (p *weighted) name() string { return "weighted" }
 
-const penaltyDecaySec = 30.0
+const (
+	penaltyDecaySec = 30.0
+	// penaltyCap bounds the stored penalty. 256 ≫ any realistic queue
+	// depth term, so a saturated replica is still firmly last choice,
+	// but it decays below 1 in penaltyDecaySec·ln(256) ≈ 166 s.
+	penaltyCap = 256.0
+	// penaltyPerWeight converts an observeFailure weight (timeout 1,
+	// partition 2, crash 4) into score units.
+	penaltyPerWeight = 8.0
+)
 
 func (p *weighted) ensure(n int) {
 	for len(p.penalty) < n {
@@ -112,12 +134,25 @@ func (p *weighted) ensure(n int) {
 	}
 }
 
-func (p *weighted) decayed(i int, now sim.Time) float64 {
+// decayedAt returns replica i's penalty as of now without mutating
+// anything; now must not precede the replica's own stamp.
+func (p *weighted) decayedAt(i int, now sim.Time) float64 {
 	dt := now.Sub(p.stamped[i]).Seconds()
 	return p.penalty[i] * math.Exp(-dt/penaltyDecaySec)
 }
 
-func (p *weighted) pick(f *fleet, avoid int) int {
+// observeAt folds decay-to-now into replica idx's penalty, adds the new
+// failure, saturates, and re-stamps that replica alone.
+func (p *weighted) observeAt(idx int, now sim.Time, weight float64) {
+	pen := p.decayedAt(idx, now) + penaltyPerWeight*weight
+	if pen > penaltyCap {
+		pen = penaltyCap
+	}
+	p.penalty[idx] = pen
+	p.stamped[idx] = now
+}
+
+func (p *weighted) pick(f *fleet, _ workload.Request, avoid int) int {
 	p.ensure(len(f.replicas))
 	now := f.s.Now()
 	best, fallback := -1, -1
@@ -132,7 +167,7 @@ func (p *weighted) pick(f *fleet, avoid int) int {
 		}
 		s := float64(f.replicas[i].QueueDepth()) +
 			0.1*float64(f.replicas[i].InFlight()) +
-			p.decayed(i, now)
+			p.decayedAt(i, now)
 		if best < 0 || s < bs {
 			best, bs = i, s
 		}
@@ -145,7 +180,58 @@ func (p *weighted) pick(f *fleet, avoid int) int {
 
 func (p *weighted) observeFailure(f *fleet, idx int, weight float64) {
 	p.ensure(len(f.replicas))
-	now := f.s.Now()
-	p.penalty[idx] = p.decayed(idx, now) + 8*weight
-	p.stamped[idx] = now
+	p.observeAt(idx, f.s.Now(), weight)
+}
+
+// prefixAffinity keeps a session's requests on one "home" replica so its
+// cached prefix blocks keep hitting, spilling to load balancing only when
+// the home is unhealthy or running hot — the cache-affinity vs.
+// load-balance tradeoff made explicit. Requests without a session or
+// prefix identity fall through to least-loaded. Deterministic: the home
+// is a pure hash of the affinity key.
+type prefixAffinity struct{}
+
+func (prefixAffinity) name() string { return "prefix-affinity" }
+
+func (prefixAffinity) pick(f *fleet, w workload.Request, avoid int) int {
+	key := w.SessionID
+	if key == 0 {
+		key = w.PrefixGroup
+	}
+	if key == 0 {
+		return leastLoaded{}.pick(f, w, avoid)
+	}
+	n := len(f.replicas)
+	// Spill threshold: twice the fleet's mean queue depth plus slack, so
+	// affinity bends before it lets one hot session group melt a replica.
+	depth := 0
+	for i := range f.replicas {
+		depth += f.replicas[i].QueueDepth()
+	}
+	limit := 2*depth/n + 8
+	home := int(mix64(key) % uint64(n))
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !f.healthy(i) || i == avoid {
+			continue // next probe is the session's stable secondary home
+		}
+		if f.replicas[i].QueueDepth() <= limit {
+			return i
+		}
+		break // home found but hot: balance instead
+	}
+	return leastLoaded{}.pick(f, w, avoid)
+}
+
+func (prefixAffinity) observeFailure(*fleet, int, float64) {}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed hash for
+// placing affinity keys on replicas.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

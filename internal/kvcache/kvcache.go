@@ -42,9 +42,20 @@ const (
 
 type table struct {
 	tokens   int
-	blocks   int
+	blocks   int // private blocks only; shared prefix blocks are counted in shared
 	loc      Location
 	isBackup bool
+	// group/shared link the request to the prefix pool: the first
+	// shared*blockSize tokens live in refcounted blocks of the given
+	// prefix group (see prefix.go). Zero for plain allocations.
+	group  uint64
+	shared int
+}
+
+// privateTokens is the token span held in the request's own blocks, i.e.
+// what actually moves on a swap. The shared prefix stays resident.
+func (t *table) privateTokens(blockSize int) int {
+	return t.tokens - t.shared*blockSize
 }
 
 // Stats aggregates allocator activity for the experiment harness
@@ -56,8 +67,67 @@ type Stats struct {
 	SwapOutEvents, SwapInEvents uint64
 	// SwapOutTokens / SwapInTokens count tokens moved across the host link.
 	SwapOutTokens, SwapInTokens uint64
-	// FailedAllocs counts allocation attempts rejected with ErrNoSpace.
+	// FailedAllocs counts admission-path allocation attempts (Allocate,
+	// Grow, AllocatePrefixed) rejected with ErrNoSpace. Swap-in retries
+	// are deliberately excluded: they are transient back-pressure, not
+	// admission failures, and are counted in SwapInFailures instead.
 	FailedAllocs uint64
+	// SwapInFailures counts SwapIn attempts deferred by transient GPU
+	// pressure. The engine retries these every kick, so one stuck
+	// request can contribute many; shedding heuristics must not read
+	// them as admission failures.
+	SwapInFailures uint64
+
+	// Prefix-cache counters; all zero unless EnablePrefixCache was
+	// called (see prefix.go).
+
+	// PrefixLookups counts AllocatePrefixed calls that consulted the pool.
+	PrefixLookups uint64
+	// PrefixHitTokens / PrefixMissTokens partition every looked-up
+	// prompt's tokens into prefix-cache hits and misses.
+	PrefixHitTokens, PrefixMissTokens uint64
+	// PrefixEvictions counts unreferenced prefix blocks dropped outright;
+	// PrefixDemotions counts those demoted to the host tier instead.
+	PrefixEvictions, PrefixDemotions uint64
+	// PrefixRestores / PrefixRestoredTokens count host-tier prefix blocks
+	// promoted back to GPU on a hit (the timed PCIe restore path).
+	PrefixRestores, PrefixRestoredTokens uint64
+	// BackupReclaims counts backup copies dropped to make room, which
+	// happens before any prefix block is evicted.
+	BackupReclaims uint64
+}
+
+// PrefixHitRatio is the token-weighted prefix-cache hit ratio across all
+// lookups, 0 when the cache saw no traffic.
+func (s Stats) PrefixHitRatio() float64 {
+	tot := s.PrefixHitTokens + s.PrefixMissTokens
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.PrefixHitTokens) / float64(tot)
+}
+
+// Accumulate folds another manager's counters into s for cross-instance
+// aggregation: counters add, PeakBlocks takes the max (peaks on distinct
+// GPUs are concurrent, not sequential).
+func (s *Stats) Accumulate(o Stats) {
+	s.SwapOutEvents += o.SwapOutEvents
+	s.SwapInEvents += o.SwapInEvents
+	s.SwapOutTokens += o.SwapOutTokens
+	s.SwapInTokens += o.SwapInTokens
+	s.FailedAllocs += o.FailedAllocs
+	s.SwapInFailures += o.SwapInFailures
+	s.PrefixLookups += o.PrefixLookups
+	s.PrefixHitTokens += o.PrefixHitTokens
+	s.PrefixMissTokens += o.PrefixMissTokens
+	s.PrefixEvictions += o.PrefixEvictions
+	s.PrefixDemotions += o.PrefixDemotions
+	s.PrefixRestores += o.PrefixRestores
+	s.PrefixRestoredTokens += o.PrefixRestoredTokens
+	s.BackupReclaims += o.BackupReclaims
+	if o.PeakBlocks > s.PeakBlocks {
+		s.PeakBlocks = o.PeakBlocks
+	}
 }
 
 // Manager is a block allocator for one serving instance. It is not
@@ -70,6 +140,12 @@ type Manager struct {
 	cpuFree   int
 	tables    map[RequestID]*table
 	stats     Stats
+
+	// Prefix-cache state (see prefix.go); nil maps when disabled.
+	prefixMode bool
+	tiered     bool
+	prefix     map[pkey]*pblock
+	useSeq     uint64
 }
 
 // New creates a manager with capacity for gpuTokens of KV cache on device
@@ -163,13 +239,22 @@ func (m *Manager) CanAllocate(tokens int) bool {
 }
 
 // Allocate reserves GPU blocks for a new request with the given context
-// length. Allocating an existing id is an error.
+// length. Allocating an existing id is an error. In prefix mode a
+// shortfall first reclaims backups and then idle prefix blocks.
 func (m *Manager) Allocate(id RequestID, tokens int) error {
+	return m.allocate(id, tokens, true)
+}
+
+func errAlreadyAllocated(id RequestID) error {
+	return fmt.Errorf("kvcache: request %d already allocated", id)
+}
+
+func (m *Manager) allocate(id RequestID, tokens int, reclaim bool) error {
 	if _, ok := m.tables[id]; ok {
-		return fmt.Errorf("kvcache: request %d already allocated", id)
+		return errAlreadyAllocated(id)
 	}
 	need := m.BlocksFor(tokens)
-	if need > m.gpuFree {
+	if need > m.gpuFree && (!reclaim || !m.ensureFree(need)) {
 		m.stats.FailedAllocs++
 		return ErrNoSpace
 	}
@@ -193,8 +278,8 @@ func (m *Manager) Grow(id RequestID, newTokens int) error {
 	if newTokens < t.tokens {
 		return fmt.Errorf("kvcache: cannot shrink request %d from %d to %d tokens", id, t.tokens, newTokens)
 	}
-	need := m.BlocksFor(newTokens) - t.blocks
-	if need > m.gpuFree {
+	need := m.BlocksFor(newTokens) - t.shared - t.blocks
+	if need > m.gpuFree && !m.ensureFree(need) {
 		m.stats.FailedAllocs++
 		return ErrNoSpace
 	}
@@ -205,7 +290,9 @@ func (m *Manager) Grow(id RequestID, newTokens int) error {
 	return nil
 }
 
-// Release frees all blocks of a request (on GPU or in swap).
+// Release frees all private blocks of a request (on GPU or in swap) and
+// drops its references on shared prefix blocks. The shared blocks
+// themselves stay cached until evicted.
 func (m *Manager) Release(id RequestID) error {
 	t, ok := m.tables[id]
 	if !ok {
@@ -216,6 +303,7 @@ func (m *Manager) Release(id RequestID) error {
 	} else {
 		m.cpuFree += t.blocks
 	}
+	m.derefShared(t)
 	delete(m.tables, id)
 	return nil
 }
@@ -230,15 +318,16 @@ func (m *Manager) SwapOut(id RequestID) (tokens int, err error) {
 	if t.loc == Swapped {
 		return 0, fmt.Errorf("kvcache: request %d already swapped", id)
 	}
-	if t.blocks > m.cpuFree {
+	if t.blocks > m.cpuFree && !m.ensureHostFree(t.blocks) {
 		return 0, ErrNoCPUSpace
 	}
 	m.gpuFree += t.blocks
 	m.cpuFree -= t.blocks
 	t.loc = Swapped
+	moved := t.privateTokens(m.blockSize)
 	m.stats.SwapOutEvents++
-	m.stats.SwapOutTokens += uint64(t.tokens)
-	return t.tokens, nil
+	m.stats.SwapOutTokens += uint64(moved)
+	return moved, nil
 }
 
 // SwapIn moves a swapped request's blocks back to GPU memory.
@@ -251,17 +340,18 @@ func (m *Manager) SwapIn(id RequestID) (tokens int, err error) {
 	if t.loc == OnGPU {
 		return 0, fmt.Errorf("kvcache: request %d is not swapped", id)
 	}
-	if t.blocks > m.gpuFree {
-		m.stats.FailedAllocs++
+	if t.blocks > m.gpuFree && !m.ensureFree(t.blocks) {
+		m.stats.SwapInFailures++
 		return 0, ErrNoSpace
 	}
 	m.gpuFree -= t.blocks
 	m.cpuFree += t.blocks
 	t.loc = OnGPU
+	moved := t.privateTokens(m.blockSize)
 	m.stats.SwapInEvents++
-	m.stats.SwapInTokens += uint64(t.tokens)
+	m.stats.SwapInTokens += uint64(moved)
 	m.touchPeak()
-	return t.tokens, nil
+	return moved, nil
 }
 
 // AllocateBackup reserves GPU blocks holding a *copy* of another
@@ -269,7 +359,9 @@ func (m *Manager) SwapIn(id RequestID) (tokens int, err error) {
 // optimization, §3.3). Backups are identical to normal allocations except
 // they are flagged, so the engine can reclaim them first under pressure.
 func (m *Manager) AllocateBackup(id RequestID, tokens int) error {
-	if err := m.Allocate(id, tokens); err != nil {
+	// A backup is an opportunistic use of spare memory, so it never
+	// reclaims other backups or cached prefix blocks to fit.
+	if err := m.allocate(id, tokens, false); err != nil {
 		return err
 	}
 	m.tables[id].isBackup = true
@@ -315,13 +407,18 @@ func (m *Manager) BackupBlocks() int {
 	return n
 }
 
-// Reset drops every allocation — GPU, swap, and backups — restoring full
-// free capacity, as when an instance crashes and its memory contents are
-// lost. Statistics accumulate across resets so a run's totals survive.
+// Reset drops every allocation — GPU, swap, backups, and the shared
+// prefix pool on both tiers — restoring full free capacity, as when an
+// instance crashes and its memory contents are lost. Statistics
+// accumulate across resets so a run's totals survive; prefix mode stays
+// enabled and the pool refills from post-crash traffic.
 func (m *Manager) Reset() {
 	m.gpuFree = m.gpuBlocks
 	m.cpuFree = m.cpuBlocks
 	m.tables = make(map[RequestID]*table)
+	if m.prefixMode {
+		m.prefix = make(map[pkey]*pblock)
+	}
 }
 
 func (m *Manager) touchPeak() {

@@ -1,0 +1,281 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSwapInFailureCounter is the satellite regression: a swap-in
+// deferred by transient GPU pressure must count as SwapInFailures, not
+// FailedAllocs — shedding heuristics read the latter as admission
+// failures.
+func TestSwapInFailureCounter(t *testing.T) {
+	m := mustMgr(t, 160, 320) // 10 GPU blocks
+	if err := m.Allocate(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SwapOut(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(2, 160); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SwapIn(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("SwapIn under pressure = %v, want ErrNoSpace", err)
+	}
+	st := m.Stats()
+	if st.SwapInFailures != 1 {
+		t.Errorf("SwapInFailures = %d, want 1", st.SwapInFailures)
+	}
+	if st.FailedAllocs != 0 {
+		t.Errorf("FailedAllocs = %d, want 0: swap-in retries are not admission failures", st.FailedAllocs)
+	}
+	// A true admission failure still lands in FailedAllocs.
+	if err := m.Allocate(3, 32); !errors.Is(err, ErrNoSpace) {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.FailedAllocs != 1 || st.SwapInFailures != 1 {
+		t.Errorf("stats = %+v, want FailedAllocs 1, SwapInFailures 1", st)
+	}
+}
+
+func TestPrefixSharing(t *testing.T) {
+	m := mustMgr(t, 320, 0) // 20 blocks
+	m.EnablePrefixCache(false)
+
+	acq, err := m.AllocatePrefixed(1, 100, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acq.HitTokens != 0 || acq.MissTokens != 100 {
+		t.Fatalf("first acquire = %+v, want all-miss", acq)
+	}
+	// 4 shared + 3 private blocks for the 100-token context.
+	if m.UsedBlocks() != 7 {
+		t.Fatalf("used = %d, want 7", m.UsedBlocks())
+	}
+
+	acq, err = m.AllocatePrefixed(2, 100, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acq.HitTokens != 64 || acq.MissTokens != 36 || acq.RestoredTokens != 0 {
+		t.Fatalf("second acquire = %+v, want 64-token hit", acq)
+	}
+	// Only the 3 private blocks are new.
+	if m.UsedBlocks() != 10 {
+		t.Fatalf("used = %d, want 10", m.UsedBlocks())
+	}
+	if got := m.PeekPrefix(7, 64); got != 64 {
+		t.Fatalf("PeekPrefix = %d, want 64", got)
+	}
+	if got := m.PeekPrefix(8, 64); got != 0 {
+		t.Fatalf("PeekPrefix(other group) = %d, want 0", got)
+	}
+	st := m.Stats()
+	if st.PrefixLookups != 2 || st.PrefixHitTokens != 64 || st.PrefixMissTokens != 136 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := st.PrefixHitRatio(); r <= 0.31 || r >= 0.33 { // 64/200
+		t.Fatalf("hit ratio = %v", r)
+	}
+}
+
+// TestPrefixReleaseKeepsSharedBlocks: releasing one sharer must not free
+// blocks another request still references, and releasing the last sharer
+// leaves them cached for future hits.
+func TestPrefixReleaseKeepsSharedBlocks(t *testing.T) {
+	m := mustMgr(t, 320, 0)
+	m.EnablePrefixCache(false)
+	for id := RequestID(1); id <= 2; id++ {
+		if _, err := m.AllocatePrefixed(id, 100, 7, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	// Sharer 2 still holds the chain: 4 shared + its 3 private blocks.
+	if m.UsedBlocks() != 7 {
+		t.Fatalf("used after one release = %d, want 7", m.UsedBlocks())
+	}
+	if got := m.PeekPrefix(7, 64); got != 64 {
+		t.Fatalf("shared blocks freed with a sharer in flight: peek = %d", got)
+	}
+	if err := m.Grow(2, 120); err != nil { // sharer 2 keeps decoding fine
+		t.Fatal(err)
+	}
+	if err := m.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	// Last sharer gone: chain stays cached, only private blocks freed.
+	if gpu, host := m.PrefixBlocks(); gpu != 4 || host != 0 {
+		t.Fatalf("cached blocks = %d/%d, want 4/0", gpu, host)
+	}
+	if m.UsedBlocks() != 4 {
+		t.Fatalf("used after both release = %d, want 4", m.UsedBlocks())
+	}
+}
+
+// TestPrefixEvictionRespectsRefs: eviction must never reclaim a block
+// with in-flight sharers, even under hard GPU pressure; once the sharer
+// releases, LRU eviction trims the chain from the tail.
+func TestPrefixEvictionRespectsRefs(t *testing.T) {
+	m := mustMgr(t, 128, 0) // 8 blocks
+	m.EnablePrefixCache(false)
+	if _, err := m.AllocatePrefixed(1, 65, 9, 64); err != nil { // 4 shared + 1 private
+		t.Fatal(err)
+	}
+	if err := m.Allocate(2, 48); err != nil { // 3 blocks, GPU now full
+		t.Fatal(err)
+	}
+	if err := m.Allocate(3, 16); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("alloc over referenced blocks = %v, want ErrNoSpace", err)
+	}
+	if st := m.Stats(); st.PrefixEvictions != 0 {
+		t.Fatalf("evicted %d referenced blocks", st.PrefixEvictions)
+	}
+	if got := m.PeekPrefix(9, 64); got != 64 {
+		t.Fatalf("referenced chain damaged: peek = %d", got)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	// refs==0 now: the same allocation succeeds by evicting LRU blocks,
+	// and the chain is trimmed strictly from the tail.
+	if err := m.Allocate(3, 32); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.PrefixEvictions != 1 {
+		t.Fatalf("PrefixEvictions = %d, want 1", st.PrefixEvictions)
+	}
+	if got := m.PeekPrefix(9, 64); got != 48 {
+		t.Fatalf("peek after tail eviction = %d, want 48", got)
+	}
+}
+
+// TestPrefixResetDropsPoolKeepsStats: a crash wipes the pool on both
+// tiers but cumulative statistics survive, as for every other counter.
+func TestPrefixResetDropsPoolKeepsStats(t *testing.T) {
+	m := mustMgr(t, 320, 320)
+	m.EnablePrefixCache(true)
+	if _, err := m.AllocatePrefixed(1, 100, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocatePrefixed(2, 100, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	if before.PrefixHitTokens == 0 {
+		t.Fatal("setup produced no hits")
+	}
+	m.Reset()
+	if gpu, host := m.PrefixBlocks(); gpu != 0 || host != 0 {
+		t.Fatalf("pool survived reset: %d/%d blocks", gpu, host)
+	}
+	if m.PeekPrefix(7, 64) != 0 {
+		t.Fatal("peek found blocks after reset")
+	}
+	if m.FreeBlocks() != m.TotalBlocks() {
+		t.Fatalf("free = %d, want %d", m.FreeBlocks(), m.TotalBlocks())
+	}
+	if after := m.Stats(); after != before {
+		t.Fatalf("stats changed across reset: %+v != %+v", after, before)
+	}
+	if !m.PrefixEnabled() {
+		t.Fatal("prefix mode lost on reset")
+	}
+	// The pool refills from post-reset traffic.
+	if _, err := m.AllocatePrefixed(3, 100, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocatePrefixed(4, 100, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.PrefixHitTokens != before.PrefixHitTokens+64 {
+		t.Fatalf("no hits after reset: %+v", st)
+	}
+}
+
+// TestTieredDemoteRestore: under pressure idle blocks demote to the host
+// tier instead of dropping, and a later hit promotes them back reporting
+// the restored span for PCIe timing.
+func TestTieredDemoteRestore(t *testing.T) {
+	m := mustMgr(t, 128, 128) // 8 GPU + 8 host blocks
+	m.EnablePrefixCache(true)
+	if _, err := m.AllocatePrefixed(1, 65, 9, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(2, 128); err != nil { // needs all 8 blocks
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.PrefixDemotions != 4 || st.PrefixEvictions != 0 {
+		t.Fatalf("stats = %+v, want 4 demotions, 0 evictions", st)
+	}
+	if gpu, host := m.PrefixBlocks(); gpu != 0 || host != 4 {
+		t.Fatalf("tiers = %d/%d, want 0/4", gpu, host)
+	}
+	if got := m.PeekPrefix(9, 64); got != 64 { // host-tier blocks still count
+		t.Fatalf("peek = %d, want 64", got)
+	}
+	if err := m.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	acq, err := m.AllocatePrefixed(3, 65, 9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acq.HitTokens != 64 || acq.RestoredTokens != 64 {
+		t.Fatalf("acquire = %+v, want 64 hit / 64 restored", acq)
+	}
+	st = m.Stats()
+	if st.PrefixRestores != 4 || st.PrefixRestoredTokens != 64 {
+		t.Fatalf("stats = %+v, want 4 restores / 64 tokens", st)
+	}
+	if gpu, host := m.PrefixBlocks(); gpu != 4 || host != 0 {
+		t.Fatalf("tiers after restore = %d/%d, want 4/0", gpu, host)
+	}
+	if free := m.cpuFree; free != m.cpuBlocks {
+		t.Fatalf("host tier leaked: %d/%d free", free, m.cpuBlocks)
+	}
+}
+
+// TestBackupsReclaimedFirst: GPU pressure drops backup copies before any
+// cached prefix block is touched.
+func TestBackupsReclaimedFirst(t *testing.T) {
+	m := mustMgr(t, 128, 0) // 8 blocks
+	m.EnablePrefixCache(false)
+	if err := m.AllocateBackup(9, 32); err != nil { // 2 blocks
+		t.Fatal(err)
+	}
+	if _, err := m.AllocatePrefixed(1, 33, 5, 32); err != nil { // 2 shared + 1 private
+		t.Fatal(err)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(2, 96); err != nil { // need 6, free 4
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.BackupReclaims != 1 || st.PrefixEvictions != 0 {
+		t.Fatalf("stats = %+v, want 1 backup reclaim, 0 prefix evictions", st)
+	}
+	if m.Has(9) {
+		t.Fatal("backup survived reclaim")
+	}
+	if got := m.PeekPrefix(5, 32); got != 32 {
+		t.Fatalf("prefix evicted before backups: peek = %d", got)
+	}
+	// A backup itself never reclaims cached state to fit.
+	if err := m.AllocateBackup(10, 96); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("backup alloc reclaimed cache: %v", err)
+	}
+	if got := m.PeekPrefix(5, 32); got != 32 {
+		t.Fatalf("backup alloc damaged cache: peek = %d", got)
+	}
+}

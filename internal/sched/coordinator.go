@@ -44,6 +44,11 @@ type DispatchInput struct {
 	// transfer rate, it biases dispatch toward the decode instance (whose
 	// prefill needs no transfer) when links degrade.
 	TransferBytes float64
+	// CachedTokens is how many of R_new's prompt tokens the prefill
+	// instance already holds in its cross-request prefix cache: they cost
+	// no prefill compute there, so the TTFT prediction shrinks by the hit
+	// length. Zero unless prefix caching is enabled.
+	CachedTokens int
 }
 
 // DispatchDecision is the outcome of Algorithm 1 for one arrival.
@@ -66,7 +71,11 @@ type DispatchDecision struct {
 // instance; if it exceeds the threshold and the decode instance has
 // enough slots (budget and KV), dispatch there.
 func (c *Coordinator) DecideDispatch(in DispatchInput) DispatchDecision {
-	compute := c.Prof.PredictPrefill(in.QueuedPrefillTokens+in.NewPromptTokens) + in.PrefillBusyRemaining
+	newTokens := in.NewPromptTokens - in.CachedTokens
+	if newTokens < 0 {
+		newTokens = 0
+	}
+	compute := c.Prof.PredictPrefill(in.QueuedPrefillTokens+newTokens) + in.PrefillBusyRemaining
 	transfer := c.Prof.PredictTransfer(in.TransferBytes)
 	pred := compute + transfer
 

@@ -40,6 +40,10 @@ type DispatchRecord struct {
 	Time         sim.Time `json:"t_s"`
 	ReqID        uint64   `json:"req"`
 	PromptTokens int      `json:"prompt_tokens"`
+	// CachedTokens is how many prompt tokens the prefill instance's
+	// cross-request prefix cache already held at decision time (0, and
+	// omitted, unless prefix caching is enabled).
+	CachedTokens int `json:"cached_tokens,omitempty"`
 	// Candidates holds every placement weighed, prefill instances first.
 	Candidates []DispatchCandidate `json:"candidates"`
 	// Threshold is Algorithm 1's thrd on predicted TTFT.
@@ -135,6 +139,25 @@ func (l *DecisionLog) AddRoute(at sim.Time, reqID uint64, target, reason string)
 		return
 	}
 	l.Routes = append(l.Routes, &RouteRecord{Time: at, ReqID: reqID, Target: target, Reason: reason})
+}
+
+// CacheHitRatio is the fraction of dispatched prompt tokens that were
+// already resident in a prefix cache at decision time, over every
+// dispatch in the log. Returns 0 on a nil/empty log or when prefix
+// caching is off (all CachedTokens zero).
+func (l *DecisionLog) CacheHitRatio() float64 {
+	if l == nil {
+		return 0
+	}
+	var hit, total int
+	for _, r := range l.Dispatches {
+		hit += r.CachedTokens
+		total += r.PromptTokens
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
 }
 
 // Len returns the total number of recorded decisions.

@@ -85,6 +85,25 @@ type Config struct {
 	// Stream selects bounded-memory metrics for long horizons. The zero
 	// value keeps the exact recorder, so default runs are byte-identical.
 	Stream StreamPolicy
+
+	// Prefix opts every KV manager in the deployment into cross-request
+	// prefix caching. The zero value keeps caching off, so default runs
+	// are byte-identical.
+	Prefix PrefixPolicy
+}
+
+// PrefixPolicy configures cross-request prefix caching: requests carrying
+// a PrefixGroup share content-identified KV blocks for their common
+// prompt prefix, shrinking prefill work by the hit length. Unreferenced
+// prefix blocks are reclaimed LRU under memory pressure (backup copies
+// go first); Tiered additionally demotes cold blocks to host memory and
+// restores them over PCIe (charged as a swap-in stall) on a later hit.
+type PrefixPolicy struct {
+	// Enabled turns prefix caching on for every instance's KV manager.
+	Enabled bool
+	// Tiered enables GPU→CPU demotion of cold prefix blocks instead of
+	// dropping them outright.
+	Tiered bool
 }
 
 // StreamPolicy opts a run into bounded-memory metrics: finalized records

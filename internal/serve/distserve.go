@@ -148,6 +148,9 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Prefix.Enabled {
+			kv.EnablePrefixCache(cfg.Prefix.Tiered)
+		}
 		host := xfer.NewLink(r.s, fmt.Sprintf("%sprefill%d-host", px, i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
 		hooks.OnPrefillStart = func(q *engine.Req) {
@@ -185,6 +188,9 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Prefix.Enabled {
+			kv.EnablePrefixCache(cfg.Prefix.Tiered)
 		}
 		host := xfer.NewLink(r.s, fmt.Sprintf("%sdecode%d-host", px, j), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
@@ -448,6 +454,7 @@ func (d *pd) crashPrefillDefault(i int) {
 		delete(d.prefillAt, q.W.ID)
 		delete(d.decodeAt, q.W.ID)
 		q.PrefillDone = 0
+		q.PrefixHit = 0
 		d.r.markRecovered(q)
 		d.prefillRR(q)
 	}
@@ -464,6 +471,7 @@ func (d *pd) crashDecodeDefault(j int) {
 		delete(d.decodeAt, q.W.ID)
 		delete(d.prefillAt, q.W.ID)
 		q.PrefillDone = 0
+		q.PrefixHit = 0
 		q.Generated = 0 // generated-token KV died with the instance
 		q.Assist = false
 		d.r.markRecovered(q)
@@ -517,13 +525,4 @@ func (d *pd) finalize(res *Result) {
 	res.AsyncXfers = d.asyncXfers
 }
 
-func addStats(dst *kvcache.Stats, s kvcache.Stats) {
-	dst.SwapOutEvents += s.SwapOutEvents
-	dst.SwapInEvents += s.SwapInEvents
-	dst.SwapOutTokens += s.SwapOutTokens
-	dst.SwapInTokens += s.SwapInTokens
-	dst.FailedAllocs += s.FailedAllocs
-	if s.PeakBlocks > dst.PeakBlocks {
-		dst.PeakBlocks = s.PeakBlocks
-	}
-}
+func addStats(dst *kvcache.Stats, s kvcache.Stats) { dst.Accumulate(s) }

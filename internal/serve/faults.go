@@ -77,6 +77,7 @@ func installVLLMFaults(r *runner, instances []*engine.Instance, route func(q *en
 					continue
 				}
 				q.PrefillDone = 0
+				q.PrefixHit = 0
 				q.Generated = 0
 				r.markRecovered(q)
 				route(q)

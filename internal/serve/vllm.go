@@ -54,6 +54,9 @@ func RunVLLMFrom(cfg Config, src workload.Source) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Prefix.Enabled {
+			kv.EnablePrefixCache(cfg.Prefix.Tiered)
+		}
 		kvs[i] = kv
 		host := xfer.NewLink(r.s, fmt.Sprintf("host-%d", i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks() // nil OnPrefillDone: finished prompts join the local batch
@@ -118,15 +121,7 @@ func RunVLLMFrom(cfg Config, src workload.Source) (*Result, error) {
 	var stats kvcache.Stats
 	var cu, bu, stall float64
 	for i, ins := range instances {
-		st := kvs[i].Stats()
-		stats.SwapOutEvents += st.SwapOutEvents
-		stats.SwapInEvents += st.SwapInEvents
-		stats.SwapOutTokens += st.SwapOutTokens
-		stats.SwapInTokens += st.SwapInTokens
-		stats.FailedAllocs += st.FailedAllocs
-		if st.PeakBlocks > stats.PeakBlocks {
-			stats.PeakBlocks = st.PeakBlocks
-		}
+		addStats(&stats, kvs[i].Stats())
 		c, b := utilization(ins, res.Elapsed)
 		cu += c
 		bu += b

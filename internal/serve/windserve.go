@@ -172,9 +172,10 @@ func (w *windState) submit(q *engine.Req) {
 			DecodeFreeKVTokens:   dec.FreeKVTokens(),
 			AssistInFlightTokens: dec.AssistPendingTokens() + dec.QueuedPrefillTokens(),
 			TransferBytes:        w.d.kvBytes(q.W.PromptTokens),
+			CachedTokens:         w.d.prefills[pi].KV().PeekPrefix(q.W.PrefixGroup, q.W.PrefixTokens),
 		}
 		decision := w.coord.DecideDispatch(in)
-		toDecode := decision.ToDecode && dec.KV().Allocate(q.KVID(), q.W.PromptTokens+1) == nil
+		toDecode := decision.ToDecode && dec.AllocatePrefillKV(q)
 		target := w.d.prefills[pi].Name()
 		if toDecode {
 			target = dec.Name()
@@ -210,6 +211,7 @@ func (w *windState) logDispatch(q *engine.Req, in sched.DispatchInput,
 		Time:           w.r.s.Now(),
 		ReqID:          q.W.ID,
 		PromptTokens:   q.W.PromptTokens,
+		CachedTokens:   in.CachedTokens,
 		Threshold:      w.coord.Thrd,
 		BudgetTokens:   w.coord.BudgetTokens,
 		AssistInFlight: in.AssistInFlightTokens,
@@ -764,6 +766,7 @@ func (w *windState) rePrefill(q *engine.Req) {
 	delete(w.d.decodeAt, q.W.ID)
 	delete(w.backupInFlight, q.W.ID)
 	q.PrefillDone = 0
+	q.PrefixHit = 0
 	q.Generated = 0
 	q.Assist = false
 	q.Migrating = false

@@ -51,12 +51,12 @@ func (d Duration) String() string { return fmt.Sprintf("%.3fms", float64(d)*1e3)
 // by a later Schedule. gen distinguishes the incarnations, so an EventID
 // held across a recycle can never cancel the wrong event.
 type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among same-time events
-	fn    func()
-	epoch  int64 // absolute calendar-bucket number at insertion width
-	bucket int   // owning bucket, fixed by epoch & mask
-	index  int   // position within the bucket, -1 when popped/cancelled
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among same-time events
+	fn     func()
+	epoch  int64  // absolute calendar-bucket number at insertion width
+	bucket int    // owning bucket, fixed by epoch & mask
+	index  int    // position within the bucket, -1 when popped/cancelled
 	gen    uint64 // incarnation counter, bumped on every recycle
 }
 

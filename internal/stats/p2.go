@@ -85,6 +85,16 @@ func (s *P2Quantile) Add(x float64) {
 			if !(s.q[i-1] < qn && qn < s.q[i+1]) {
 				qn = s.linear(i, sign)
 			}
+			// Clamp to the neighbors: on duplicate-heavy streams the
+			// parabolic test above passes with equal neighbor heights
+			// and the linear fallback can still land outside
+			// [q[i-1], q[i+1]] (the classic P² failure), after which the
+			// marker invariant — and the estimate — never recovers.
+			if qn < s.q[i-1] {
+				qn = s.q[i-1]
+			} else if qn > s.q[i+1] {
+				qn = s.q[i+1]
+			}
 			s.q[i] = qn
 			s.pos[i] += sign
 		}

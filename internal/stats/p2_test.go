@@ -79,6 +79,74 @@ func TestP2Deterministic(t *testing.T) {
 	}
 }
 
+// checkMarkers asserts the P² marker-height invariant q[0] ≤ … ≤ q[4];
+// once it breaks the estimate can wander arbitrarily far and never
+// recover.
+func checkMarkers(t *testing.T, s *P2Quantile, what string) {
+	t.Helper()
+	if s.n < 5 {
+		return
+	}
+	for i := 1; i < 5; i++ {
+		if s.q[i] < s.q[i-1] {
+			t.Fatalf("%s: marker heights non-monotone: q=%v", what, s.q)
+		}
+	}
+}
+
+// TestP2DuplicateHeavyStreams is the satellite regression: the classic P²
+// failure mode is a duplicate-heavy stream, where the parabolic update's
+// strict-inequality guard passes with equal neighbor heights and the
+// linear fallback lands outside [q[i-1], q[i+1]]. The clamped update must
+// keep marker heights monotone and the estimate near the exact percentile
+// on constant, two-value, and adversarial step streams.
+func TestP2DuplicateHeavyStreams(t *testing.T) {
+	streams := []struct {
+		name string
+		gen  func(i int) float64
+		tol  float64 // absolute tolerance vs the exact percentile
+	}{
+		{"constant", func(i int) float64 { return 7 }, 0},
+		// 30% of mass at 5: the tested percentiles (50/90/99) all sit
+		// inside a constant run, not on the jump at p70.
+		{"two-value", func(i int) float64 {
+			if i%10 < 3 {
+				return 5
+			}
+			return 1
+		}, 0.01},
+		{"step", func(i int) float64 { // long constant runs with jumps
+			return float64(i / 2500)
+		}, 1},
+		{"alternating-step", func(i int) float64 { // dup runs straddling the median
+			switch {
+			case i%100 < 49:
+				return 2
+			case i%100 < 98:
+				return 4
+			default:
+				return float64(i % 7)
+			}
+		}, 1},
+	}
+	for _, st := range streams {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			s := NewP2Quantile(p)
+			xs := make([]float64, 10_000)
+			for i := range xs {
+				xs[i] = st.gen(i)
+				s.Add(xs[i])
+				checkMarkers(t, s, st.name)
+			}
+			exact := Percentile(xs, p*100)
+			if d := math.Abs(s.Value() - exact); d > st.tol {
+				t.Errorf("%s p%g: sketch=%v exact=%v (|Δ|=%v > %v)",
+					st.name, p*100, s.Value(), exact, d, st.tol)
+			}
+		}
+	}
+}
+
 // BenchmarkPercentileRepeated vs BenchmarkPercentilesOf quantify the
 // satellite win: N percentiles of the same slice cost one sort, not N
 // copies+sorts.

@@ -30,6 +30,16 @@ type Request struct {
 	Arrival      sim.Time `json:"arrival"`
 	PromptTokens int      `json:"prompt_tokens"`
 	OutputTokens int      `json:"output_tokens"`
+
+	// Session/prefix identity, set by scenario sources (zero elsewhere;
+	// omitempty keeps legacy traces byte-identical). SessionID groups the
+	// turns of one conversation for affinity routing. PrefixGroup names
+	// the content-hash chain the prompt's first PrefixTokens tokens
+	// belong to: two requests with the same group share KV blocks over
+	// min(PrefixTokens) when prefix caching is on (see internal/kvcache).
+	SessionID    uint64 `json:"session_id,omitempty"`
+	PrefixGroup  uint64 `json:"prefix_group,omitempty"`
+	PrefixTokens int    `json:"prefix_tokens,omitempty"`
 }
 
 // TotalTokens is the request's final context length.

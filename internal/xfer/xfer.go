@@ -86,6 +86,17 @@ func (l *Link) Transfer(bytes float64, done func()) {
 	l.res.Submit(l.TransferTime(bytes), done)
 }
 
+// AccountBytes records payload that crossed the link outside the FIFO
+// queue. Engine-synchronous copies (swap stalls, prefix-cache restores)
+// block the engine for TransferTime instead of submitting to the queue;
+// crediting their bytes here keeps BytesMoved a complete traffic count.
+func (l *Link) AccountBytes(bytes float64) {
+	if bytes < 0 {
+		panic("xfer: negative transfer size")
+	}
+	l.BytesMoved += bytes
+}
+
 // Busy reports whether a transfer is in flight.
 func (l *Link) Busy() bool { return l.res.Busy() }
 

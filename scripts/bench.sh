@@ -48,8 +48,14 @@ t6=$(date +%s.%N)
 fleet_wall=$(echo "$t6 $t5" | awk '{printf "%.3f", $1 - $2}')
 echo "ext-fleet-chaos wall clock ${fleet_wall}s" >&2
 
+# Physical core count from the host, not Python's os.cpu_count(): under a
+# container cpuset/affinity mask the latter reports the mask width (often
+# 1), which misdocuments the machine the numbers came from.
+host_cores=$(nproc --all 2>/dev/null || getconf _NPROCESSORS_CONF)
+
 MICRO="$micro_txt" EXHIBIT="$exhibit_txt" MEGA="$mega_txt" FLEET="$fleet_txt" \
 FLEET_WALL="$fleet_wall" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
+HOST_CORES="$host_cores" \
 python3 - <<'EOF'
 import json, os, re
 
@@ -115,7 +121,7 @@ serial = float(os.environ["SERIAL"])
 parallel = float(os.environ["PARALLEL"])
 doc = {
     "description": "Simulation-kernel benchmarks; regenerate with scripts/bench.sh",
-    "host_cores": os.cpu_count(),
+    "host_cores": int(os.environ["HOST_CORES"]),
     "micro": micro,
     "event_queue_10k": {
         "heap_ns_per_op": heap_ns,
