@@ -36,7 +36,8 @@ func run() int {
 	maxRecords := flag.Int("maxrecords", 0, "per-class record retention cap with -stream (0 = default 10000)")
 	csvPath := flag.String("csv", "", "also write the fig10/fig11 sweep rows as CSV to this file")
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
-	fleetN := flag.Int("fleet", 16, "replica count for ext-fleet-chaos")
+	fleetN := flag.Int("fleet", 16, "replica count for ext-fleet-chaos (and ext-fleet-scale when set explicitly)")
+	shards := flag.Int("shards", 0, "shard count for fleet runs: partitions replicas across parallel shard simulators; results are byte-identical at any value (0 = sequential; for ext-fleet-scale, restricts the sweep to {1, N})")
 	scenarioName := flag.String("scenario", "", "restrict ext-scenarios to one named workload scenario (chat, rag, agentic, reasoning, diurnal)")
 	prefixCache := flag.Bool("prefixcache", false, "restrict ext-scenarios to its prefix-caching-on configurations")
 	chaos := flag.String("chaos", "", `chaos plan for ext-fleet-chaos, e.g. "rcrash:r0@60+30; rslow:r1@90x8+60" (default: a crash+partition+slow+cancel schedule scaled to the run)`)
@@ -58,14 +59,20 @@ func run() int {
 	o.MegaRequests = 1_000_000
 	o.FleetRequests = 100_000
 	o.FleetReplicas = *fleetN
+	o.FleetShards = *shards
+	o.FleetScaleRequests = 1_000_000
 	o.ScenarioRequests = 5_000
 	o.Scenario = *scenarioName
 	o.PrefixCache = *prefixCache
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "n" {
+		switch f.Name {
+		case "n":
 			o.MegaRequests = *n
 			o.FleetRequests = *n
+			o.FleetScaleRequests = *n
 			o.ScenarioRequests = *n
+		case "fleet":
+			o.FleetScaleReplicas = *fleetN
 		}
 	})
 
@@ -170,18 +177,20 @@ func run() int {
 			_, err := bench.ExpFleetChaos(o, w, chaosPlan)
 			return err
 		},
-		"ext-scenarios": func(w io.Writer) error { _, err := bench.ExpScenarios(o, w); return err },
+		"ext-scenarios":   func(w io.Writer) error { _, err := bench.ExpScenarios(o, w); return err },
+		"ext-fleet-scale": func(w io.Writer) error { _, err := bench.ExpFleetScale(o, w); return err },
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
 		for k := range exhibits {
-			// ext-mega's, ext-fleet-chaos's, and ext-scenarios's runtimes
-			// scale with -n (defaults of a million, a hundred thousand, and
-			// five thousand requests over a 20-run grid), so they only run
-			// when named explicitly.
-			if k == "ext-mega" || k == "ext-fleet-chaos" || k == "ext-scenarios" {
+			// ext-mega's, ext-fleet-chaos's, ext-scenarios's, and
+			// ext-fleet-scale's runtimes scale with -n (defaults of a
+			// million, a hundred thousand, five thousand over a 20-run
+			// grid, and a million requests per shard count), so they only
+			// run when named explicitly.
+			if k == "ext-mega" || k == "ext-fleet-chaos" || k == "ext-scenarios" || k == "ext-fleet-scale" {
 				continue
 			}
 			args = append(args, k)
@@ -294,6 +303,11 @@ extensions (not paper exhibits):
                  off/on}: goodput, TTFT, SLO, and prefix-cache hit ratio per
                  traffic class (not part of "all"; restrict with -scenario
                  and -prefixcache, size with -n)
+  ext-fleet-scale  parallel-in-time scaling: one 64-replica fleet run at
+                 shard counts {1, 4, 8, NumCPU}, reporting wall seconds,
+                 sim req/s, speedup, and a result digest proving the runs
+                 byte-identical (not part of "all"; size with -n and
+                 -fleet, pin the sweep with -shards)
 
 flags:
 `)

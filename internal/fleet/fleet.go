@@ -7,10 +7,17 @@
 // and deadline shedding at the router, and a brown-out mode that defers
 // failovers under overload, trading TTFT slack for goodput.
 //
-// Everything runs on one discrete-event simulator and one request
-// ledger, so a fleet run is exactly as deterministic as a single-testbed
-// run: same seed, same plan ⇒ byte-identical results. Every route,
-// failover, and degradation decision flows through sched.DecisionLog.
+// The fleet is built as message-passing actors on a shard.Group: the
+// router actor owns the request ledger, the workload source, admission
+// and failover policy; each replica actor owns its replica's entire
+// state and talks to the router only through NetDelay-latent messages
+// (submits, evictions, load reports, ledger forwards). With Shards == 1
+// everything runs on one event loop; with Shards > 1 the replicas are
+// partitioned across shard simulators driven on separate goroutines with
+// a conservative-lookahead barrier — and because actors share no mutable
+// state and cross-shard messages merge in an order built only from
+// per-actor quantities, the results are byte-identical at any shard
+// count: same seed, same plan ⇒ same Result, same DecisionLog.
 package fleet
 
 import (
@@ -19,12 +26,12 @@ import (
 	"math/rand"
 	"sort"
 
-	"windserve/internal/engine"
 	"windserve/internal/fault"
 	"windserve/internal/kvcache"
 	"windserve/internal/metrics"
 	"windserve/internal/sched"
 	"windserve/internal/serve"
+	"windserve/internal/shard"
 	"windserve/internal/sim"
 	"windserve/internal/workload"
 )
@@ -37,6 +44,22 @@ type Config struct {
 	Replica serve.Config
 	// NumReplicas deploys that many identical replicas (≥1).
 	NumReplicas int
+
+	// Shards partitions the replicas across this many shard simulators
+	// (replica i lives on shard i % Shards; the router on shard 0). With
+	// Shards > 1 the shards execute on separate goroutines. Results are
+	// byte-identical at any value. Default 1; clamped to NumReplicas.
+	Shards int
+	// NetDelay is the virtual router↔replica message latency: every
+	// dispatch, eviction, load report, and ledger write crosses it. It is
+	// also the shard group's conservative lookahead — larger values mean
+	// fewer barriers and faster parallel runs, staler routing views.
+	// Default 5 ms.
+	NetDelay sim.Duration
+	// LoadReportEvery is how often a busy replica self-reports queue
+	// depth and in-flight count to the router (unchanged loads are
+	// suppressed). Default 25 ms.
+	LoadReportEvery sim.Duration
 
 	// Policy picks the router: "round-robin", "least-loaded", or
 	// "weighted" (health/SLO-aware scoring). Default "round-robin".
@@ -77,6 +100,8 @@ type Config struct {
 	Horizon sim.Duration
 
 	// Decisions collects route/failover/health decisions; nil skips.
+	// Actors log into private per-actor logs during the run; finish
+	// merges them here in canonical (time, actor, append) order.
 	Decisions *sched.DecisionLog
 }
 
@@ -135,15 +160,31 @@ type reqState struct {
 	replica   int // owning replica, -1 while parked
 	failovers int
 	timerSeq  int // invalidates stale failover timers after a re-route
+	// pendingEvict marks an eviction in flight toward the owning replica;
+	// the router holds further action on the request until the reply (or
+	// an orphan notice) resolves it. evictReason labels the failover the
+	// eviction is for; abortReason, if set while the evict is pending,
+	// converts the outcome into an abort.
+	pendingEvict bool
+	evictReason  string
+	abortReason  string
 }
 
-// fleet is the running state behind Run.
+// fleet is the router actor: the only actor that touches the recorder,
+// the workload source, the routing policy, and the request state table.
+// It runs on shard 0, which executes on the coordinating goroutine.
 type fleet struct {
-	s   *sim.Simulator
+	g   *shard.Group[msg]
+	s   *sim.Simulator // shard 0's simulator — the router's clock
 	rec *metrics.Recorder
 	cfg Config
+	dec *sched.DecisionLog // router's private log; nil if cfg.Decisions is
 
-	replicas    []*serve.Replica
+	acts []*replicaActor
+	// replicas is the router's delayed load view, one handle per replica
+	// — the surface the routing policies read.
+	replicas    []*replicaHandle
+	down        []bool
 	partitioned []bool
 	pol         policy
 
@@ -151,8 +192,8 @@ type fleet struct {
 	parked []uint64 // FIFO of requests waiting for any healthy replica
 
 	recovered map[uint64]bool
-	completed int // completions observed via onComplete
-	aborted   int // router-side aborts (parked or given-up requests)
+	completed int // completions observed via mComplete
+	aborted   int // router-side aborts (parked, given-up, evict-aborted)
 	rejected  int
 	failovers int
 	wasted    int
@@ -162,7 +203,8 @@ type fleet struct {
 	brownoutSec   float64
 
 	// completions[i] counts records closed in virtual second i — the
-	// recovery-time signal.
+	// recovery-time signal. Bucketed by the completion's true event time,
+	// not its (NetDelay-later) application time.
 	completions []int
 
 	// arrival streaming (the runner pattern: one pending event).
@@ -186,6 +228,12 @@ func (c *Config) validate() error {
 	}
 	if c.FailoverTimeout < 0 || c.TTFTDeadline < 0 {
 		return fmt.Errorf("fleet: negative timeout")
+	}
+	if c.Shards < 0 || c.NetDelay < 0 || c.LoadReportEvery < 0 {
+		return fmt.Errorf("fleet: negative shard knob")
+	}
+	if c.Shards > 1 && c.Replica.Tracer != nil {
+		return fmt.Errorf("fleet: tracing is single-threaded; run with Shards <= 1")
 	}
 	if _, err := newPolicy(c.Policy); err != nil {
 		return err
@@ -214,6 +262,21 @@ func (c *Config) fillDefaults() {
 	if c.Horizon <= 0 {
 		c.Horizon = sim.Seconds(7200)
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.NumReplicas {
+		c.Shards = c.NumReplicas
+	}
+	if c.NetDelay == 0 {
+		c.NetDelay = sim.Seconds(0.005)
+	}
+	if c.LoadReportEvery == 0 {
+		c.LoadReportEvery = sim.Seconds(0.025)
+	}
+	if sim.Time(c.NetDelay) > sim.Time(c.Horizon) {
+		c.NetDelay = c.Horizon // lookahead may never exceed the drain cap
+	}
 }
 
 // Run executes one fleet experiment over a materialized trace.
@@ -229,27 +292,43 @@ func RunFrom(cfg Config, src workload.Source) (*Result, error) {
 	}
 	cfg.fillDefaults()
 
-	s := sim.New()
+	g := shard.NewGroup[msg](cfg.Shards, cfg.NetDelay)
+	g.GrowActors(cfg.NumReplicas + 1)
 	rec := metrics.NewRecorder()
 	if cfg.Replica.Stream.Enabled {
 		rec = metrics.NewStreamingRecorder(cfg.Replica.SLO, cfg.Replica.Stream.MaxRecords)
 	}
 	f := &fleet{
-		s: s, rec: rec, cfg: cfg,
+		g: g, s: g.Shard(0).Sim(), rec: rec, cfg: cfg,
+		down:        make([]bool, cfg.NumReplicas),
 		partitioned: make([]bool, cfg.NumReplicas),
 		state:       make(map[uint64]*reqState),
 		recovered:   make(map[uint64]bool),
 	}
+	if cfg.Decisions != nil {
+		f.dec = sched.NewDecisionLog()
+	}
 	f.pol, _ = newPolicy(cfg.Policy)
 	for i := 0; i < cfg.NumReplicas; i++ {
+		ra := &replicaActor{f: f, idx: i, sh: g.Shard(i % cfg.Shards)}
+		ra.reportFn = ra.report
 		rcfg := cfg.Replica
 		rcfg.NamePrefix = fmt.Sprintf("r%d/", i)
-		rcfg.Decisions = cfg.Decisions
-		rp, err := serve.NewReplica(s, rec, rcfg, f.onComplete)
+		if cfg.Decisions != nil {
+			rcfg.Decisions = sched.NewDecisionLog()
+		} else {
+			rcfg.Decisions = nil
+		}
+		rp, err := serve.NewReplica(ra.sh.Sim(), replicaLedger{ra: ra}, rcfg, nil)
 		if err != nil {
 			return nil, err
 		}
-		f.replicas = append(f.replicas, rp)
+		ra.rp = rp
+		f.acts = append(f.acts, ra)
+		f.replicas = append(f.replicas, &replicaHandle{name: rp.Name()})
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		g.Shard(i).OnMessage(f.dispatch)
 	}
 	if err := f.installFaults(); err != nil {
 		return nil, err
@@ -259,22 +338,73 @@ func RunFrom(cfg Config, src workload.Source) (*Result, error) {
 	f.arrivalFn = f.arrive
 	if w, ok := src.Next(); ok {
 		f.nextReq, f.haveNext = w, true
-		s.At(w.Arrival, f.arrivalFn)
+		f.s.At(w.Arrival, f.arrivalFn)
+	} else {
+		g.SetEnd(sim.Time(0).Add(cfg.Horizon))
 	}
 
-	// Two-phase drain (the runner pattern): step until the arrival chain
-	// ends, then run out the tail under the horizon.
-	for f.haveNext {
-		if !s.Step() {
-			break
-		}
-	}
-	s.Run(f.lastArrival.Add(cfg.Horizon))
+	g.Run(cfg.Shards > 1)
 
 	return f.finish(), nil
 }
 
-// arrive admits or sheds one arrival, then chains the next.
+// dispatch is every shard's message handler: deliveries address an actor,
+// and the destination actor's state lives on the delivering shard.
+func (f *fleet) dispatch(src int, m msg) {
+	if m.to == 0 {
+		f.routerMsg(src-1, m)
+		return
+	}
+	f.acts[m.to-1].handle(m)
+}
+
+// sendTo posts a message from the router to replica idx.
+func (f *fleet) sendTo(idx int, m msg) {
+	m.to = idx + 1
+	f.g.Shard(0).Send(idx%f.cfg.Shards, 0, f.cfg.NetDelay, m)
+}
+
+// routerMsg handles one replica→router message. idx is the sender.
+func (f *fleet) routerMsg(idx int, m msg) {
+	switch m.kind {
+	case mLoad:
+		h := f.replicas[idx]
+		h.q, h.inflight, h.bump = m.a, m.b, 0
+	case mPrefillStart:
+		if f.rec.InFlight(m.id) {
+			f.rec.PrefillStart(m.id, m.t)
+		}
+	case mFirstToken:
+		if f.rec.InFlight(m.id) {
+			f.rec.FirstToken(m.id, m.t)
+		}
+	case mDecodeStart:
+		if f.rec.InFlight(m.id) {
+			f.rec.DecodeStart(m.id, m.t)
+		}
+	case mComplete:
+		f.rec.Complete(m.id, m.t)
+		f.completed++
+		sec := int(float64(m.t))
+		for len(f.completions) <= sec {
+			f.completions = append(f.completions, 0)
+		}
+		f.completions[sec]++
+		delete(f.state, m.id)
+		f.updateBrownout()
+	case mAbortRec:
+		if f.rec.InFlight(m.id) {
+			f.rec.Abort(m.id, m.t, m.a)
+		}
+	case mEvictReply:
+		f.evictReply(idx, m)
+	case mOrphan:
+		f.orphanReturned(m)
+	}
+}
+
+// arrive admits or sheds one arrival, then chains the next; when the
+// source dries up, the drain horizon becomes the group's end cap.
 func (f *fleet) arrive() {
 	w := f.nextReq
 	f.arrivals++
@@ -285,6 +415,7 @@ func (f *fleet) arrive() {
 		f.s.At(nw.Arrival, f.arrivalFn)
 	} else {
 		f.haveNext = false
+		f.g.SetEnd(f.lastArrival.Add(f.cfg.Horizon))
 	}
 }
 
@@ -294,7 +425,7 @@ func (f *fleet) admit(w workload.Request) {
 	if d := f.cfg.MaxQueueDepth; d > 0 && f.totalQueueDepth() >= d {
 		f.rec.Reject(w.ID, f.s.Now())
 		f.rejected++
-		f.cfg.Decisions.AddRoute(f.s.Now(), w.ID, "router", "admission-reject")
+		f.dec.AddRoute(f.s.Now(), w.ID, "router", "admission-reject")
 		return
 	}
 	st := &reqState{w: w, replica: -1}
@@ -318,7 +449,7 @@ func (f *fleet) route(st *reqState, reason string) {
 	if j < 0 {
 		st.replica = -1
 		f.parked = append(f.parked, st.w.ID)
-		f.cfg.Decisions.AddRoute(f.s.Now(), st.w.ID, "router", "parked-no-healthy-replica")
+		f.dec.AddRoute(f.s.Now(), st.w.ID, "router", "parked-no-healthy-replica")
 		return
 	}
 	st.replica = j
@@ -326,8 +457,9 @@ func (f *fleet) route(st *reqState, reason string) {
 	if reason == "" {
 		reason = f.pol.name()
 	}
-	f.cfg.Decisions.AddRoute(f.s.Now(), st.w.ID, f.replicas[j].Name(), reason)
-	f.replicas[j].Submit(st.w)
+	f.dec.AddRoute(f.s.Now(), st.w.ID, f.replicas[j].Name(), reason)
+	f.replicas[j].bump++
+	f.sendTo(j, msg{kind: mSubmit, id: st.w.ID, w: st.w})
 	f.armFailoverTimer(st.w.ID)
 }
 
@@ -347,7 +479,7 @@ func (f *fleet) armFailoverTimer(id uint64) {
 
 func (f *fleet) failoverTimerFired(id uint64, seq int) {
 	st, ok := f.state[id]
-	if !ok || st.timerSeq != seq || st.replica < 0 {
+	if !ok || st.timerSeq != seq || st.replica < 0 || st.pendingEvict {
 		return
 	}
 	if !f.rec.InFlight(id) || f.rec.HasFirstToken(id) {
@@ -363,49 +495,116 @@ func (f *fleet) failoverTimerFired(id uint64, seq int) {
 			return
 		}
 	}
-	from := st.replica
-	q := f.replicas[from].Evict(id)
-	if q == nil {
+	f.startEvict(st, "failover-timeout")
+}
+
+// startEvict begins a failover: ask the owning replica to give the
+// request back. The outcome arrives as mEvictReply (or as mOrphan, if a
+// crash beats the eviction there).
+func (f *fleet) startEvict(st *reqState, reason string) {
+	st.pendingEvict = true
+	st.evictReason = reason
+	st.timerSeq++ // a pending failover timer must not re-trigger mid-evict
+	f.sendTo(st.replica, msg{kind: mEvict, id: st.w.ID, seq: st.timerSeq})
+}
+
+// evictReply resolves an eviction the router started. ok=false means the
+// request left the replica first (completed, or crash-orphaned — both
+// reach the router on their own paths).
+func (f *fleet) evictReply(idx int, m msg) {
+	st, ok := f.state[m.id]
+	if !ok || !st.pendingEvict || st.timerSeq != m.seq {
 		return
 	}
-	f.wasted += q.PrefillDone + q.Generated
-	f.pol.observeFailure(f, from, 1)
-	f.failover(st, q, "failover-timeout")
+	st.pendingEvict = false
+	reason := st.evictReason
+	st.evictReason = ""
+	if !m.ok {
+		return
+	}
+	f.wasted += m.a
+	if reason == "failover-timeout" {
+		f.pol.observeFailure(f, idx, 1)
+	}
+	if st.abortReason != "" {
+		// An abort landed while the evict was in flight: the request is
+		// now off every replica with its record open — finalize here.
+		f.rec.Abort(m.id, f.s.Now(), m.b)
+		f.aborted++
+		delete(f.state, m.id)
+		return
+	}
+	f.failover(st, m.b, reason)
+}
+
+// orphanReturned handles a request a replica crash threw back.
+func (f *fleet) orphanReturned(m msg) {
+	st, ok := f.state[m.id]
+	if !ok {
+		// An abort was already in flight toward the crashed replica; it
+		// will find nothing there to finalize, so finalize here.
+		if f.rec.InFlight(m.id) {
+			f.rec.Abort(m.id, f.s.Now(), m.b)
+			f.aborted++
+		}
+		return
+	}
+	if st.pendingEvict {
+		// The crash superseded an in-flight eviction; its reply (ok=false)
+		// is void. An abort queued behind that eviction still wins.
+		st.pendingEvict = false
+		st.evictReason = ""
+		if st.abortReason != "" {
+			f.rec.Abort(m.id, f.s.Now(), m.b)
+			f.aborted++
+			delete(f.state, m.id)
+			return
+		}
+	}
+	f.wasted += m.a
+	f.failover(st, m.b, "failover-crash")
 }
 
 // failover re-routes an evicted request (record still open) to another
-// healthy replica, or gives up after MaxFailovers.
-func (f *fleet) failover(st *reqState, q *engine.Req, reason string) {
+// healthy replica, or gives up after MaxFailovers. generated is the token
+// count the record closes with if the router gives up.
+func (f *fleet) failover(st *reqState, generated int, reason string) {
 	id := st.w.ID
 	st.failovers++
 	f.failovers++
 	if st.failovers > f.cfg.MaxFailovers {
-		f.rec.Abort(id, f.s.Now(), q.Generated)
+		f.rec.Abort(id, f.s.Now(), generated)
 		f.aborted++
 		delete(f.state, id)
-		f.cfg.Decisions.AddRoute(f.s.Now(), id, "router", "failover-give-up")
+		f.dec.AddRoute(f.s.Now(), id, "router", "failover-give-up")
 		return
 	}
 	f.recovered[id] = true
 	f.route(st, reason)
 }
 
-// abort finalizes a request wherever it is: on a replica (which scrubs
-// its engines) or parked at the router.
+// abort finalizes a request wherever it is: parked at the router (closed
+// immediately), on a replica (an mAbort crosses the wire; the replica's
+// ledger forward closes the record), or mid-eviction (the evict outcome
+// finalizes it).
 func (f *fleet) abort(id uint64, reason string) {
 	st, ok := f.state[id]
 	if !ok {
 		return
 	}
+	f.dec.AddRoute(f.s.Now(), id, "router", reason)
+	if st.pendingEvict {
+		st.abortReason = reason
+		return
+	}
 	if st.replica >= 0 {
-		f.replicas[st.replica].Abort(id)
+		f.sendTo(st.replica, msg{kind: mAbort, id: id})
 	} else {
 		f.unpark(id)
 		f.rec.Abort(id, f.s.Now(), 0)
 		f.aborted++
 	}
 	delete(f.state, id)
-	f.cfg.Decisions.AddRoute(f.s.Now(), id, "router", reason)
 }
 
 // unpark removes one id from the parked queue.
@@ -434,18 +633,6 @@ func (f *fleet) drainParked() {
 	}
 }
 
-// onComplete retires the router's bookkeeping when a record closes.
-func (f *fleet) onComplete(q *engine.Req) {
-	delete(f.state, q.W.ID)
-	f.completed++
-	sec := int(float64(f.s.Now()))
-	for len(f.completions) <= sec {
-		f.completions = append(f.completions, 0)
-	}
-	f.completions[sec]++
-	f.updateBrownout()
-}
-
 // cancelFrac aborts a seeded-random fraction of open requests — the
 // client-cancellation fault, fleet edition (same victim rule as serve).
 func (f *fleet) cancelFrac(frac float64, seed int64) {
@@ -465,18 +652,19 @@ func (f *fleet) cancelFrac(frac float64, seed int64) {
 	}
 }
 
-// totalQueueDepth is the fleet-wide admission signal.
+// totalQueueDepth is the fleet-wide admission signal, read off the
+// delayed load view.
 func (f *fleet) totalQueueDepth() int {
 	n := len(f.parked)
-	for _, rp := range f.replicas {
-		n += rp.QueueDepth()
+	for _, h := range f.replicas {
+		n += h.QueueDepth()
 	}
 	return n
 }
 
 // healthy reports whether the router may route to replica i.
 func (f *fleet) healthy(i int) bool {
-	return !f.replicas[i].Down() && !f.partitioned[i]
+	return !f.down[i] && !f.partitioned[i]
 }
 
 func (f *fleet) numHealthy() int {
@@ -504,81 +692,72 @@ func (f *fleet) updateBrownout() {
 	if !f.brownout && mean >= d {
 		f.brownout = true
 		f.brownoutSince = f.s.Now()
-		f.cfg.Decisions.AddRoute(f.s.Now(), 0, "router", "brownout-enter")
+		f.dec.AddRoute(f.s.Now(), 0, "router", "brownout-enter")
 	} else if f.brownout && mean <= d/2 {
 		f.brownout = false
 		f.brownoutSec += f.s.Now().Sub(f.brownoutSince).Seconds()
-		f.cfg.Decisions.AddRoute(f.s.Now(), 0, "router", "brownout-exit")
+		f.dec.AddRoute(f.s.Now(), 0, "router", "brownout-exit")
 	}
 }
 
-// installFaults compiles the chaos plan into replica-level hooks.
+// installFaults compiles the chaos plan into router-side hooks. Fault
+// events fire on the router's shard; effects cross to the replicas as
+// messages, so health flips at the router the instant the event fires and
+// at the replica one NetDelay later — in that order, on every shard count.
 func (f *fleet) installFaults() error {
 	if f.cfg.Faults == nil {
 		return nil
 	}
 	h := fault.Hooks{
 		ReplicaCrash: func(idx int) {
-			rp := f.replicas[idx]
-			if rp.Down() {
+			if f.down[idx] {
 				return
 			}
-			f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "replica-crash")
-			for _, q := range rp.Crash() {
-				st, ok := f.state[q.W.ID]
-				if !ok {
-					continue
-				}
-				f.wasted += q.PrefillDone + q.Generated
-				f.failover(st, q, "failover-crash")
-			}
+			f.down[idx] = true
+			f.dec.AddRoute(f.s.Now(), 0, f.replicas[idx].Name(), "replica-crash")
+			f.sendTo(idx, msg{kind: mCrash})
 			f.pol.observeFailure(f, idx, 4)
 		},
 		ReplicaRestore: func(idx int) {
-			rp := f.replicas[idx]
-			if !rp.Down() {
+			if !f.down[idx] {
 				return
 			}
-			rp.Restore()
-			f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "replica-restore")
+			f.down[idx] = false
+			f.dec.AddRoute(f.s.Now(), 0, f.replicas[idx].Name(), "replica-restore")
+			// Restore crosses before any submit the drain routes to it:
+			// messages to one destination deliver in send order.
+			f.sendTo(idx, msg{kind: mRestore})
 			f.drainParked()
 		},
 		SetReplicaSlowdown: func(idx int, factor float64) {
-			f.replicas[idx].SetSlowdown(factor)
+			f.sendTo(idx, msg{kind: mSlowdown, f: factor})
 		},
 		SetPartition: func(idx int, partitioned bool) {
 			f.partitioned[idx] = partitioned
-			rp := f.replicas[idx]
 			if partitioned {
-				f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "partition-start")
+				f.dec.AddRoute(f.s.Now(), 0, f.replicas[idx].Name(), "partition-start")
 				// The replica keeps executing, but the router writes off
 				// its first-token-less requests as timed out and moves
 				// them; requests already streaming ride the partition out.
 				var move []uint64
 				for id, st := range f.state {
-					if st.replica == idx && !f.rec.HasFirstToken(id) {
+					if st.replica == idx && !st.pendingEvict && !f.rec.HasFirstToken(id) {
 						move = append(move, id)
 					}
 				}
 				sort.Slice(move, func(a, b int) bool { return move[a] < move[b] })
 				for _, id := range move {
-					st := f.state[id]
-					q := rp.Evict(id)
-					if q == nil {
-						continue
-					}
-					f.wasted += q.PrefillDone + q.Generated
-					f.failover(st, q, "failover-partition")
+					f.startEvict(f.state[id], "failover-partition")
 				}
 				f.pol.observeFailure(f, idx, 2)
 			} else {
-				f.cfg.Decisions.AddRoute(f.s.Now(), 0, rp.Name(), "partition-heal")
+				f.dec.AddRoute(f.s.Now(), 0, f.replicas[idx].Name(), "partition-heal")
 				f.drainParked()
 			}
 		},
 		SetLinkDegrade: func(frac float64) {
-			for _, rp := range f.replicas {
-				rp.DegradeLinks(frac)
+			for i := range f.acts {
+				f.sendTo(i, msg{kind: mDegrade, f: frac})
 			}
 		},
 		Cancel: f.cancelFrac,
@@ -586,8 +765,15 @@ func (f *fleet) installFaults() error {
 	return fault.Apply(f.s, f.cfg.Faults, h)
 }
 
-// finish assembles the result.
+// finish assembles the result after the shard group drains (single-
+// threaded again: the workers joined inside Run).
 func (f *fleet) finish() *Result {
+	elapsed := f.g.LastFired()
+	if f.g.AnyPending() {
+		// Events remain past the cap — the clock stopped at the horizon,
+		// exactly as a sequential Run(horizon) leaves it.
+		elapsed = f.lastArrival.Add(f.cfg.Horizon)
+	}
 	res := &Result{
 		Policy:       f.cfg.Policy,
 		Replicas:     f.cfg.NumReplicas,
@@ -596,16 +782,16 @@ func (f *fleet) finish() *Result {
 		Rejected:     f.rejected,
 		FailedOver:   f.failovers,
 		WastedTokens: f.wasted,
-		Elapsed:      f.s.Now(),
+		Elapsed:      elapsed,
 	}
 	if f.brownout {
-		f.brownoutSec += f.s.Now().Sub(f.brownoutSince).Seconds()
+		f.brownoutSec += elapsed.Sub(f.brownoutSince).Seconds()
 		f.brownout = false
 	}
 	res.BrownoutSec = f.brownoutSec
 	res.Aborted = f.aborted
-	for _, rp := range f.replicas {
-		res.Aborted += rp.Aborted()
+	for _, ra := range f.acts {
+		res.Aborted += ra.rp.Aborted()
 	}
 	// Counted as completions fire, not derived — so the lifecycle
 	// partition (Completed+Aborted+Rejected+Unfinished == Requests) is a
@@ -625,8 +811,8 @@ func (f *fleet) finish() *Result {
 	} else {
 		res.Summary = metrics.Summarize(f.rec.Completed(), f.cfg.Replica.SLO)
 	}
-	for _, rp := range f.replicas {
-		st := rp.Stats(res.Elapsed)
+	for _, ra := range f.acts {
+		st := ra.rp.Stats(res.Elapsed)
 		res.LiveKVBlocks += st.LiveKVBlocks
 		res.TransferGB += st.TransferGB
 		res.PrefillKV.Accumulate(st.PrefillKV)
@@ -634,9 +820,17 @@ func (f *fleet) finish() *Result {
 		res.MeanPrefillUtil += st.PrefillComputeUtil
 		res.MeanDecodeUtil += st.DecodeComputeUtil
 	}
-	res.MeanPrefillUtil /= float64(len(f.replicas))
-	res.MeanDecodeUtil /= float64(len(f.replicas))
+	res.MeanPrefillUtil /= float64(len(f.acts))
+	res.MeanDecodeUtil /= float64(len(f.acts))
 	res.RecoverySec = f.recoveryTimes()
+	if f.cfg.Decisions != nil {
+		logs := make([]*sched.DecisionLog, 0, len(f.acts)+1)
+		logs = append(logs, f.dec)
+		for _, ra := range f.acts {
+			logs = append(logs, ra.rp.Decisions())
+		}
+		f.cfg.Decisions.Absorb(logs...)
+	}
 	return res
 }
 

@@ -141,6 +141,30 @@ func (l *DecisionLog) AddRoute(at sim.Time, reqID uint64, target, reason string)
 	l.Routes = append(l.Routes, &RouteRecord{Time: at, ReqID: reqID, Target: target, Reason: reason})
 }
 
+// Absorb merges per-actor logs into l in canonical order. Each part must
+// be internally time-sorted (true of any log appended from a single
+// simulator's events); parts are passed in actor order. Concatenating in
+// part order and stable-sorting by Time is then exactly a merge keyed by
+// (Time, actor, per-actor append order) — independent of how the actors
+// were scheduled, so a sharded fleet run absorbs to the same log as a
+// sequential one. No-op on a nil receiver; nil parts are skipped.
+func (l *DecisionLog) Absorb(parts ...*DecisionLog) {
+	if l == nil {
+		return
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		l.Dispatches = append(l.Dispatches, p.Dispatches...)
+		l.Reschedules = append(l.Reschedules, p.Reschedules...)
+		l.Routes = append(l.Routes, p.Routes...)
+	}
+	sort.SliceStable(l.Dispatches, func(i, j int) bool { return l.Dispatches[i].Time < l.Dispatches[j].Time })
+	sort.SliceStable(l.Reschedules, func(i, j int) bool { return l.Reschedules[i].Time < l.Reschedules[j].Time })
+	sort.SliceStable(l.Routes, func(i, j int) bool { return l.Routes[i].Time < l.Routes[j].Time })
+}
+
 // CacheHitRatio is the fraction of dispatched prompt tokens that were
 // already resident in a prefix cache at decision time, over every
 // dispatch in the log. Returns 0 on a nil/empty log or when prefix

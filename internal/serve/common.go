@@ -11,12 +11,36 @@ import (
 	"windserve/internal/workload"
 )
 
+// Ledger is the request-lifecycle surface a system writes through. A
+// single-testbed run writes straight into a *metrics.Recorder; a fleet
+// replica running on its own shard writes through a proxy that forwards
+// each call — with its explicit timestamp — as a cross-shard message to
+// the router, which owns the one real Recorder. Every method carries the
+// event time, so applying a forwarded call later in wall-clock terms
+// records exactly the same virtual-time fact.
+type Ledger interface {
+	Arrive(id uint64, promptTokens, outputTokens int, at sim.Time)
+	Reject(id uint64, at sim.Time)
+	PrefillStart(id uint64, at sim.Time)
+	FirstToken(id uint64, at sim.Time)
+	DecodeStart(id uint64, at sim.Time)
+	Complete(id uint64, at sim.Time)
+	Abort(id uint64, at sim.Time, emitted int)
+	InFlight(id uint64) bool
+	HasFirstToken(id uint64) bool
+	OpenIDs() []uint64
+}
+
 // runner holds the state every system run shares: the simulator, the
 // metrics recorder, and the request-lifecycle machinery (admission
 // control, deadline aborts, cancellation faults, crash recovery
 // accounting) that the three systems plug their policies into.
 type runner struct {
 	s   *sim.Simulator
+	led Ledger
+	// rec is led when the ledger is a real recorder (single-testbed
+	// runs); nil on a fleet replica, whose router owns the recorder.
+	// Only run() — never called on a replica — requires it.
 	rec *metrics.Recorder
 	cfg Config
 
@@ -64,16 +88,19 @@ func newRunner(cfg Config) (*runner, error) {
 	return newRunnerOn(sim.New(), rec, cfg)
 }
 
-// newRunnerOn builds a runner on an existing simulator and recorder, so
-// several runners — one per fleet replica — can share a single virtual
-// clock and a single request ledger. The caller drives the simulation.
-func newRunnerOn(s *sim.Simulator, rec *metrics.Recorder, cfg Config) (*runner, error) {
+// newRunnerOn builds a runner on an existing simulator and ledger, so a
+// fleet replica can live on its own shard simulator and report lifecycle
+// events through a message-forwarding ledger. The caller drives the
+// simulation.
+func newRunnerOn(s *sim.Simulator, led Ledger, cfg Config) (*runner, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg.fillDefaults()
+	rec, _ := led.(*metrics.Recorder)
 	return &runner{
 		s:         s,
+		led:       led,
 		rec:       rec,
 		cfg:       cfg,
 		live:      make(map[uint64]*engine.Req),
@@ -120,9 +147,9 @@ func (r *runner) arrive() {
 // rejected request does no work at all), then a TTFT-deadline timer that
 // aborts the request if it has produced no first token in time.
 func (r *runner) admit(w workload.Request) {
-	r.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
+	r.led.Arrive(w.ID, w.PromptTokens, w.OutputTokens, r.s.Now())
 	if d := r.cfg.Shed.MaxQueueDepth; d > 0 && r.queueDepth != nil && r.queueDepth() >= d {
-		r.rec.Reject(w.ID, r.s.Now())
+		r.led.Reject(w.ID, r.s.Now())
 		r.rejected++
 		return
 	}
@@ -131,7 +158,7 @@ func (r *runner) admit(w workload.Request) {
 	if dl := r.cfg.Shed.TTFTDeadline; dl > 0 {
 		id := w.ID
 		r.s.Schedule(dl, func() {
-			if r.rec.InFlight(id) && !r.rec.HasFirstToken(id) {
+			if r.led.InFlight(id) && !r.led.HasFirstToken(id) {
 				r.abortReq(id)
 			}
 		})
@@ -147,11 +174,11 @@ func (r *runner) admit(w workload.Request) {
 // still holding it skips it), then let the system scrub its structures.
 func (r *runner) abortReq(id uint64) {
 	q, ok := r.live[id]
-	if !ok || !r.rec.InFlight(id) {
+	if !ok || !r.led.InFlight(id) {
 		return
 	}
 	delete(r.live, id)
-	r.rec.Abort(id, r.s.Now(), q.Generated)
+	r.led.Abort(id, r.s.Now(), q.Generated)
 	r.aborted++
 	q.Phase = engine.PhaseAborted
 	if r.onAbort != nil {
@@ -164,7 +191,7 @@ func (r *runner) abortReq(id uint64) {
 // from the sorted open-id list with a dedicated PRNG so the same plan
 // cancels the same requests on every system and every run.
 func (r *runner) cancelFrac(frac float64, seed int64) {
-	ids := r.rec.OpenIDs()
+	ids := r.led.OpenIDs()
 	n := len(ids)
 	k := int(math.Round(frac * float64(n)))
 	if k <= 0 {
@@ -220,13 +247,13 @@ func (r *runner) run(system string) *Result {
 // systems extend the returned struct with their policy callbacks.
 func (r *runner) recorderHooks() engine.Hooks {
 	return engine.Hooks{
-		OnPrefillStart: func(q *engine.Req) { r.rec.PrefillStart(q.W.ID, r.s.Now()) },
-		OnFirstToken:   func(q *engine.Req) { r.rec.FirstToken(q.W.ID, r.s.Now()) },
+		OnPrefillStart: func(q *engine.Req) { r.led.PrefillStart(q.W.ID, r.s.Now()) },
+		OnFirstToken:   func(q *engine.Req) { r.led.FirstToken(q.W.ID, r.s.Now()) },
 		OnPrefillDone:  nil, // system-specific; nil = admit locally
-		OnDecodeStart:  func(q *engine.Req) { r.rec.DecodeStart(q.W.ID, r.s.Now()) },
+		OnDecodeStart:  func(q *engine.Req) { r.led.DecodeStart(q.W.ID, r.s.Now()) },
 		OnComplete: func(q *engine.Req) {
 			delete(r.live, q.W.ID)
-			r.rec.Complete(q.W.ID, r.s.Now())
+			r.led.Complete(q.W.ID, r.s.Now())
 		},
 	}
 }

@@ -154,7 +154,7 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		host := xfer.NewLink(r.s, fmt.Sprintf("%sprefill%d-host", px, i), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
 		hooks.OnPrefillStart = func(q *engine.Req) {
-			r.rec.PrefillStart(q.W.ID, r.s.Now())
+			r.led.PrefillStart(q.W.ID, r.s.Now())
 			if ph.onPrefillStart != nil {
 				ph.onPrefillStart(q)
 			}

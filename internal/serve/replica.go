@@ -7,7 +7,7 @@ import (
 
 	"windserve/internal/engine"
 	"windserve/internal/kvcache"
-	"windserve/internal/metrics"
+	"windserve/internal/sched"
 	"windserve/internal/sim"
 	"windserve/internal/workload"
 )
@@ -26,20 +26,23 @@ type Replica struct {
 	down bool
 }
 
-// NewReplica plans one replica on the shared simulator and recorder.
+// NewReplica plans one replica on the given simulator — the router's own,
+// or a shard simulator the replica shares only with same-shard siblings —
+// writing lifecycle events through led (a *metrics.Recorder, or a proxy
+// forwarding each timestamped call to the router's shard).
 // cfg.NamePrefix (e.g. "r3/") keeps instance, link, and trace names
 // unique across the fleet; cfg.Shed and cfg.Faults must be zero — the
 // router owns shedding, and fault plans compile at the fleet level.
 // onComplete (optional) fires once per request after its record closes,
 // so the router can retire its own bookkeeping.
-func NewReplica(s *sim.Simulator, rec *metrics.Recorder, cfg Config, onComplete func(q *engine.Req)) (*Replica, error) {
+func NewReplica(s *sim.Simulator, led Ledger, cfg Config, onComplete func(q *engine.Req)) (*Replica, error) {
 	if cfg.Faults != nil {
 		return nil, fmt.Errorf("serve: replica %q: fault plans attach to the fleet, not a replica", cfg.NamePrefix)
 	}
 	if cfg.Shed != (ShedPolicy{}) {
 		return nil, fmt.Errorf("serve: replica %q: shedding is the router's job; leave Shed zero", cfg.NamePrefix)
 	}
-	r, err := newRunnerOn(s, rec, cfg)
+	r, err := newRunnerOn(s, led, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +164,11 @@ func (rp *Replica) DegradeLinks(frac float64) { rp.d.degradeLinks(frac) }
 
 // Aborted is how many requests this replica terminated via Abort.
 func (rp *Replica) Aborted() int { return rp.r.aborted }
+
+// Decisions returns the replica's private decision log (nil when the
+// fleet isn't collecting decisions). The fleet merges per-actor logs
+// into the caller's log in canonical order at the end of a run.
+func (rp *Replica) Decisions() *sched.DecisionLog { return rp.r.cfg.Decisions }
 
 // ReplicaStats is a replica's contribution to fleet-level accounting.
 type ReplicaStats struct {

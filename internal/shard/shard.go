@@ -1,0 +1,327 @@
+// Package shard runs N sim.Simulator instances in lockstep windows with a
+// conservative lookahead barrier, so loosely-coupled actors (fleet router,
+// replicas) can be simulated on separate goroutines while producing output
+// byte-identical to a single sequential event loop.
+//
+// # Model
+//
+// Time is cut into a fixed grid of windows [kL, (k+1)L) where L is the
+// lookahead — the minimum virtual latency of any cross-shard message. Every
+// shard executes the same window concurrently, each on its own simulator.
+// Actors within a window communicate across shards only via Send, which
+// requires delay >= L: a message sent at t inside window k delivers at
+// t+delay >= kL+L = (k+1)L, i.e. never inside the window being executed,
+// so no shard can observe an effect before the barrier that publishes it.
+//
+// At each barrier the group gathers every shard's outbox, sorts each
+// destination's inbound messages by (deliverAt, sentAt, srcActor, srcSeq),
+// and schedules them on the destination simulator. The sort key is built
+// only from per-actor quantities — never from shard indices — so the merged
+// order (and therefore every downstream event sequence) is identical at any
+// shard count, including 1. Empty windows are skipped by jumping the grid
+// to the earliest pending event, so sparse periods cost one min-scan, not
+// one barrier per L of virtual time.
+package shard
+
+import (
+	"fmt"
+	"slices"
+
+	"windserve/internal/sim"
+)
+
+// envelope is one cross-shard message in flight.
+type envelope[M any] struct {
+	at     sim.Time // delivery time (sentAt + delay)
+	sentAt sim.Time
+	actor  int    // sending actor id — stable across shard counts
+	seq    uint64 // per-sending-actor sequence number
+	dst    int    // destination shard
+	m      M
+}
+
+// Handler consumes a delivered message on the destination shard, in the
+// destination simulator's event context at the message's delivery time.
+type Handler[M any] func(srcActor int, m M)
+
+// Shard is one partition: a simulator plus mailboxes. All methods must be
+// called from the shard's own goroutine (i.e. from within its events).
+type Shard[M any] struct {
+	g       *Group[M]
+	idx     int
+	sim     *sim.Simulator
+	handler Handler[M]
+	outbox  []envelope[M]
+	inbox   []envelope[M] // barrier scratch, owned by the coordinator
+}
+
+// Sim returns the shard's simulator.
+func (sh *Shard[M]) Sim() *sim.Simulator { return sh.sim }
+
+// Index returns the shard's index within the group.
+func (sh *Shard[M]) Index() int { return sh.idx }
+
+// OnMessage installs the delivery handler. Must be set before Run.
+func (sh *Shard[M]) OnMessage(h Handler[M]) { sh.handler = h }
+
+// Send queues a message from actor (a caller-chosen id, unique across the
+// whole group and stable across shard counts) for delivery on shard dst
+// after delay. delay must be >= the group lookahead — that inequality is
+// the entire correctness argument, so violating it panics.
+func (sh *Shard[M]) Send(dst, actor int, delay sim.Duration, m M) {
+	if sim.Time(delay) < sim.Time(sh.g.lookahead) {
+		panic(fmt.Sprintf("shard: message delay %v below lookahead %v", delay, sh.g.lookahead))
+	}
+	now := sh.sim.Now()
+	sh.outbox = append(sh.outbox, envelope[M]{
+		at:     now.Add(delay),
+		sentAt: now,
+		actor:  actor,
+		seq:    sh.g.actorSeq[actor],
+		dst:    dst,
+		m:      m,
+	})
+	sh.g.actorSeq[actor]++
+}
+
+// Group coordinates N shards through lockstep windows.
+type Group[M any] struct {
+	lookahead sim.Duration
+	shards    []*Shard[M]
+	// actorSeq numbers each actor's sends. Indexed lazily (grown on
+	// first use); an actor lives on exactly one shard, and barriers
+	// order cross-goroutine access, so no locking is needed.
+	actorSeq []uint64
+	end      sim.Time
+	endSet   bool
+
+	// Persistent window workers for shards 1..N-1 (shard 0 runs on the
+	// coordinating goroutine). Nil until Run starts them.
+	work []chan windowCmd
+	done chan struct{}
+}
+
+type windowCmd struct {
+	end       sim.Time
+	inclusive bool // final partial window: fire events at <= end
+}
+
+// NewGroup builds a group of n shards (n >= 1) with the given lookahead
+// (> 0): the minimum virtual latency of any cross-shard message.
+func NewGroup[M any](n int, lookahead sim.Duration) *Group[M] {
+	if n < 1 {
+		panic("shard: need at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("shard: lookahead must be positive")
+	}
+	g := &Group[M]{lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		g.shards = append(g.shards, &Shard[M]{g: g, idx: i, sim: sim.New()})
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *Group[M]) Shards() int { return len(g.shards) }
+
+// Shard returns shard i.
+func (g *Group[M]) Shard(i int) *Shard[M] { return g.shards[i] }
+
+// Lookahead returns the group lookahead.
+func (g *Group[M]) Lookahead() sim.Duration { return g.lookahead }
+
+// GrowActors pre-sizes the per-actor sequence table for actor ids < n.
+func (g *Group[M]) GrowActors(n int) {
+	for len(g.actorSeq) < n {
+		g.actorSeq = append(g.actorSeq, 0)
+	}
+}
+
+// SetEnd caps the run at t (inclusive), mirroring a sequential
+// Simulator.Run(t): events at <= t fire, later ones stay pending. Call it
+// before Run or from within shard 0's events (shard 0 executes on the
+// coordinating goroutine, so no synchronization is needed); the lowest
+// value wins.
+func (g *Group[M]) SetEnd(t sim.Time) {
+	if g.endSet && g.end <= t {
+		return
+	}
+	g.end, g.endSet = t, true
+}
+
+// AnyPending reports whether any shard still has undelivered events
+// (meaningful after Run returns with an end cap).
+func (g *Group[M]) AnyPending() bool {
+	for _, sh := range g.shards {
+		if sh.sim.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// LastFired returns the latest event time fired on any shard.
+func (g *Group[M]) LastFired() sim.Time {
+	var t sim.Time
+	for _, sh := range g.shards {
+		if lf := sh.sim.LastFired(); lf > t {
+			t = lf
+		}
+	}
+	return t
+}
+
+// Run executes windows until every shard drains or the end cap is
+// reached. With parallel true, shards 1..N-1 run on persistent worker
+// goroutines and the calling goroutine runs shard 0; barriers are
+// channel-synchronized, so all cross-shard memory access is ordered.
+// With parallel false (or one shard), everything runs on the caller.
+func (g *Group[M]) Run(parallel bool) {
+	parallel = parallel && len(g.shards) > 1
+	if parallel {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	L := sim.Time(g.lookahead)
+	for {
+		tmin, any := sim.Time(0), false
+		for _, sh := range g.shards {
+			if t, ok := sh.sim.NextAt(); ok && (!any || t < tmin) {
+				tmin, any = t, true
+			}
+		}
+		if !any || (g.endSet && tmin > g.end) {
+			break
+		}
+		// Jump to the grid window containing tmin; every executed
+		// window fires at least one event. When tmin sits on a grid
+		// boundary within float rounding, tmin/L can round down and
+		// leave tmin at (not before) wend — bump until the window
+		// strictly contains it. The bump is a function of (tmin, L)
+		// only, both shard-count-invariant, so determinism holds; and
+		// wend <= tmin + L keeps every in-window send (sentAt >= tmin)
+		// delivering at >= sentAt + L >= wend, outside the window.
+		k := sim.Time(int64(tmin / L))
+		wend := (k + 1) * L
+		for wend <= tmin {
+			k++
+			wend = (k + 1) * L
+		}
+		if g.endSet && wend > g.end {
+			// Final partial window [kL, end]. Any message sent here
+			// has sentAt >= kL, so it delivers at >= (k+1)L > end:
+			// the cap drops it, exactly as a sequential run would
+			// leave its delivery pending past the horizon.
+			g.runAll(parallel, windowCmd{end: g.end, inclusive: true})
+			break
+		}
+		g.runAll(parallel, windowCmd{end: wend})
+		g.deliver()
+	}
+}
+
+// runAll executes one window on every shard.
+func (g *Group[M]) runAll(parallel bool, cmd windowCmd) {
+	if parallel {
+		for _, ch := range g.work {
+			ch <- cmd
+		}
+		g.shards[0].runWindow(cmd)
+		for range g.work {
+			<-g.done
+		}
+		return
+	}
+	for _, sh := range g.shards {
+		sh.runWindow(cmd)
+	}
+}
+
+func (sh *Shard[M]) runWindow(cmd windowCmd) {
+	if cmd.inclusive {
+		sh.sim.Run(cmd.end)
+	} else {
+		sh.sim.RunWindow(cmd.end)
+	}
+}
+
+// deliver is the barrier: move every outbox message to its destination,
+// order each destination's batch canonically, and schedule deliveries.
+// Runs on the coordinating goroutine between windows; steady-state
+// crossings with empty mailboxes do not allocate.
+func (g *Group[M]) deliver() {
+	for _, src := range g.shards {
+		for _, env := range src.outbox {
+			dst := g.shards[env.dst]
+			dst.inbox = append(dst.inbox, env)
+		}
+		src.outbox = src.outbox[:0]
+	}
+	for _, dst := range g.shards {
+		if len(dst.inbox) == 0 {
+			continue
+		}
+		// (deliverAt, sentAt, actor, seq): built from per-actor
+		// quantities only, so the order is shard-count-invariant.
+		slices.SortFunc(dst.inbox, func(a, b envelope[M]) int {
+			switch {
+			case a.at != b.at:
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			case a.sentAt != b.sentAt:
+				if a.sentAt < b.sentAt {
+					return -1
+				}
+				return 1
+			case a.actor != b.actor:
+				return a.actor - b.actor
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
+			}
+			return 0
+		})
+		h, s := dst.handler, dst.sim
+		for _, env := range dst.inbox {
+			env := env
+			at := env.at
+			// Guard against float rounding landing a delivery a
+			// half-ulp inside the already-executed window. The clamp
+			// is applied identically at every shard count, so it
+			// cannot perturb cross-config determinism.
+			if now := s.Now(); at < now {
+				at = now
+			}
+			s.At(at, func() { h(env.actor, env.m) })
+		}
+		dst.inbox = dst.inbox[:0]
+	}
+}
+
+func (g *Group[M]) startWorkers() {
+	n := len(g.shards) - 1
+	g.work = make([]chan windowCmd, n)
+	g.done = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ch := make(chan windowCmd)
+		g.work[i] = ch
+		sh := g.shards[i+1]
+		go func() {
+			for cmd := range ch {
+				sh.runWindow(cmd)
+				g.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+func (g *Group[M]) stopWorkers() {
+	for _, ch := range g.work {
+		close(ch)
+	}
+	g.work, g.done = nil, nil
+}

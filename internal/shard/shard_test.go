@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"windserve/internal/sim"
+)
+
+// hopMsg is the synthetic workload: a token bouncing between actors,
+// burning one hop per delivery.
+type hopMsg struct {
+	token int
+	hops  int
+}
+
+// buildRing wires nActors over nShards (actor a on shard a%nShards).
+// Each delivery appends to the actor's trace and forwards the token to
+// (a+1)%nActors with a delay that varies by token, plus schedules a local
+// event to exercise native/delivered interleaving. Returns the per-actor
+// traces, merged in actor order after the run.
+func runRing(t *testing.T, nShards, nActors int, parallel bool) string {
+	t.Helper()
+	const L = sim.Duration(0.5)
+	g := NewGroup[hopMsg](nShards, L)
+	g.GrowActors(nActors)
+	traces := make([][]string, nActors)
+	shardOf := func(a int) int { return a % nShards }
+	for i := 0; i < nShards; i++ {
+		sh := g.Shard(i)
+		sh.OnMessage(func(src int, m hopMsg) {
+			// Identify the receiving actor from the token's path.
+			a := (src + 1) % nActors
+			traces[a] = append(traces[a],
+				fmt.Sprintf("recv a%d t=%.6f src=%d tok=%d hops=%d", a, sh.Sim().Now(), src, m.token, m.hops))
+			sh.Sim().Schedule(0.1, func() {
+				traces[a] = append(traces[a], fmt.Sprintf("local a%d t=%.6f tok=%d", a, sh.Sim().Now(), m.token))
+			})
+			if m.hops > 0 {
+				d := L * sim.Duration(1+m.token%3)
+				sh.Send(shardOf((a+1)%nActors), a, d, hopMsg{token: m.token, hops: m.hops - 1})
+			}
+		})
+	}
+	// Seed: each actor launches one token at a staggered start time.
+	for a := 0; a < nActors; a++ {
+		a := a
+		sh := g.Shard(shardOf(a))
+		sh.Sim().At(sim.Time(a)*0.3, func() {
+			traces[a] = append(traces[a], fmt.Sprintf("seed a%d t=%.6f", a, sh.Sim().Now()))
+			sh.Send(shardOf((a+1)%nActors), a, L, hopMsg{token: a, hops: 12})
+		})
+	}
+	g.Run(parallel)
+	var b strings.Builder
+	for a := 0; a < nActors; a++ {
+		for _, line := range traces[a] {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestByteIdentityAcrossShardCounts is the core determinism property: the
+// merged trace must be identical at every shard count, sequential or
+// parallel.
+func TestByteIdentityAcrossShardCounts(t *testing.T) {
+	const actors = 7
+	want := runRing(t, 1, actors, false)
+	if !strings.Contains(want, "recv") {
+		t.Fatalf("reference run produced no deliveries:\n%s", want)
+	}
+	for _, shards := range []int{2, 3, 4, 7} {
+		for _, parallel := range []bool{false, true} {
+			got := runRing(t, shards, actors, parallel)
+			if got != want {
+				t.Errorf("shards=%d parallel=%v diverged from sequential run", shards, parallel)
+			}
+		}
+	}
+}
+
+// TestEndCap checks SetEnd matches sequential Run semantics: events at
+// <= end fire, later ones stay pending, and LastFired reflects the last
+// event actually executed.
+func TestEndCap(t *testing.T) {
+	g := NewGroup[int](2, 1)
+	g.GrowActors(2)
+	var fired []sim.Time
+	for i := 0; i < 2; i++ {
+		sh := g.Shard(i)
+		sh.OnMessage(func(src int, m int) {})
+		for _, at := range []sim.Time{0.25, 3.75, 9.5, 20} {
+			at := at
+			s := sh.Sim()
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+	}
+	g.SetEnd(9.5)
+	g.Run(false)
+	if len(fired) != 6 {
+		t.Fatalf("fired %d events, want 6 (three per shard at <= 9.5): %v", len(fired), fired)
+	}
+	if !g.AnyPending() {
+		t.Fatal("events at t=20 should remain pending past the cap")
+	}
+	if lf := g.LastFired(); lf != 9.5 {
+		t.Fatalf("LastFired = %v, want 9.5", lf)
+	}
+}
+
+// TestWindowSkipping: sparse events separated by huge gaps must all fire
+// without executing one barrier per lookahead of empty virtual time.
+func TestWindowSkipping(t *testing.T) {
+	g := NewGroup[int](2, sim.Duration(0.001))
+	g.GrowActors(2)
+	var got []string
+	for i := 0; i < 2; i++ {
+		i := i
+		sh := g.Shard(i)
+		sh.OnMessage(func(src int, m int) {
+			got = append(got, fmt.Sprintf("msg shard=%d t=%.3f v=%d", i, sh.Sim().Now(), m))
+		})
+	}
+	s0 := g.Shard(0).Sim()
+	s0.At(1e6, func() {
+		got = append(got, fmt.Sprintf("fire t=%.0f", s0.Now()))
+		g.Shard(0).Send(1, 0, 0.001, 42)
+	})
+	g.Run(false)
+	want := []string{"fire t=1000000", "msg shard=1 t=1000000.001 v=42"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestLookaheadViolationPanics: sending below the lookahead must panic —
+// it silently breaks causality otherwise.
+func TestLookaheadViolationPanics(t *testing.T) {
+	g := NewGroup[int](2, 1)
+	g.GrowActors(1)
+	g.Shard(0).OnMessage(func(int, int) {})
+	g.Shard(1).OnMessage(func(int, int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send with delay below lookahead did not panic")
+		}
+	}()
+	g.Shard(0).Sim().At(0, func() { g.Shard(0).Send(1, 0, 0.5, 1) })
+	g.Run(false)
+}
+
+// BenchmarkBarrierCrossing measures a steady-state window + barrier with
+// empty mailboxes across 4 shards — the hot path of a sharded run. The CI
+// alloc-budget job gates this at 0 allocs/op.
+func BenchmarkBarrierCrossing(b *testing.B) {
+	g := NewGroup[int](4, 1)
+	for i := 0; i < 4; i++ {
+		sh := g.Shard(i)
+		sh.OnMessage(func(int, int) {})
+		s := sh.Sim()
+		var tick func()
+		tick = func() { s.Schedule(0.5, tick) }
+		s.Schedule(0.5, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	end := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		end++
+		g.runAll(false, windowCmd{end: end})
+		g.deliver()
+	}
+}
+
+// BenchmarkBarrierMessages measures a window + barrier where every shard
+// sends one message per window — the loaded steady state.
+func BenchmarkBarrierMessages(b *testing.B) {
+	const n = 4
+	g := NewGroup[int](n, 1)
+	g.GrowActors(n)
+	for i := 0; i < n; i++ {
+		i := i
+		sh := g.Shard(i)
+		sh.OnMessage(func(int, int) {})
+		s := sh.Sim()
+		var tick func()
+		tick = func() {
+			sh.Send((i+1)%n, i, 1, 7)
+			s.Schedule(0.5, tick)
+		}
+		s.Schedule(0.5, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	end := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		end++
+		g.runAll(false, windowCmd{end: end})
+		g.deliver()
+	}
+}

@@ -292,11 +292,12 @@ func (id EventID) Valid() bool { return id.ev != nil }
 // Simulator is a single-threaded discrete-event scheduler.
 // The zero value is not usable; call New.
 type Simulator struct {
-	now    Time
-	q      *calendarQueue
-	seq    uint64
-	fired  uint64
-	halted bool
+	now       Time
+	q         *calendarQueue
+	seq       uint64
+	fired     uint64
+	lastFired Time
+	halted    bool
 	// free recycles fired/cancelled event structs. Bounded by the peak
 	// number of simultaneously pending events, it eliminates the
 	// per-Schedule heap allocation on the kernel's hottest path.
@@ -386,6 +387,7 @@ func (s *Simulator) Step() bool {
 		panic("sim: time went backwards")
 	}
 	s.now = ev.at
+	s.lastFired = ev.at
 	s.fired++
 	fn := ev.fn
 	// Recycle before firing: the callback's own Schedule calls may reuse
@@ -416,3 +418,35 @@ func (s *Simulator) Run(until Time) {
 
 // RunAll fires all events until the queue drains or Halt is called.
 func (s *Simulator) RunAll() { s.Run(Forever) }
+
+// NextAt returns the time of the earliest pending event, if any.
+func (s *Simulator) NextAt() (Time, bool) {
+	next := s.q.peek()
+	if next == nil {
+		return 0, false
+	}
+	return next.at, true
+}
+
+// LastFired returns the time of the most recently fired event (0 if none
+// has fired). Unlike Now, it never reflects a Run/RunWindow horizon the
+// clock was merely advanced to.
+func (s *Simulator) LastFired() Time { return s.lastFired }
+
+// RunWindow fires events strictly before end and leaves the clock exactly
+// at end. It is the shard executor's primitive: a window [start, end) is
+// exhausted and the clock parked on the boundary so cross-shard messages
+// delivered at >= end can be scheduled without violating At's no-past rule.
+func (s *Simulator) RunWindow(end Time) {
+	s.halted = false
+	for !s.halted {
+		next := s.q.peek()
+		if next == nil || next.at >= end {
+			break
+		}
+		s.Step()
+	}
+	if end > s.now {
+		s.now = end
+	}
+}
