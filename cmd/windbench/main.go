@@ -38,8 +38,9 @@ func run() int {
 	faults := flag.String("faults", "", `fault plan for ext-faults and -trace, e.g. "crash:d0@60; degrade@90x0.5+30"`)
 	fleetN := flag.Int("fleet", 16, "replica count for ext-fleet-chaos (and ext-fleet-scale when set explicitly)")
 	shards := flag.Int("shards", 0, "shard count for fleet runs: partitions replicas across parallel shard simulators; results are byte-identical at any value (0 = sequential; for ext-fleet-scale, restricts the sweep to {1, N})")
-	scenarioName := flag.String("scenario", "", "restrict ext-scenarios to one named workload scenario (chat, rag, agentic, reasoning, diurnal)")
+	scenarioName := flag.String("scenario", "", "restrict ext-scenarios to one named workload scenario (chat, rag, agentic, reasoning, diurnal, mixshift)")
 	prefixCache := flag.Bool("prefixcache", false, "restrict ext-scenarios to its prefix-caching-on configurations")
+	elasticFlag := flag.Bool("elastic", false, "run ext-fleet-chaos's fleets with the default elastic role-flipping policy (ext-elastic always compares elastic vs static)")
 	chaos := flag.String("chaos", "", `chaos plan for ext-fleet-chaos, e.g. "rcrash:r0@60+30; rslow:r1@90x8+60" (default: a crash+partition+slow+cancel schedule scaled to the run)`)
 	tracePath := flag.String("trace", "", "run a traced WindServe capture and write its Chrome-trace JSON here (open at ui.perfetto.dev)")
 	decisionsPath := flag.String("decisions", "", "write the traced capture's scheduler decision log here as JSONL")
@@ -62,8 +63,10 @@ func run() int {
 	o.FleetShards = *shards
 	o.FleetScaleRequests = 1_000_000
 	o.ScenarioRequests = 5_000
+	o.ElasticRequests = 20_000
 	o.Scenario = *scenarioName
 	o.PrefixCache = *prefixCache
+	o.Elastic = *elasticFlag
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "n":
@@ -71,6 +74,7 @@ func run() int {
 			o.FleetRequests = *n
 			o.FleetScaleRequests = *n
 			o.ScenarioRequests = *n
+			o.ElasticRequests = *n
 		case "fleet":
 			o.FleetScaleReplicas = *fleetN
 		}
@@ -179,18 +183,19 @@ func run() int {
 		},
 		"ext-scenarios":   func(w io.Writer) error { _, err := bench.ExpScenarios(o, w); return err },
 		"ext-fleet-scale": func(w io.Writer) error { _, err := bench.ExpFleetScale(o, w); return err },
+		"ext-elastic":     func(w io.Writer) error { _, err := bench.ExpElastic(o, w); return err },
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
 		for k := range exhibits {
-			// ext-mega's, ext-fleet-chaos's, ext-scenarios's, and
-			// ext-fleet-scale's runtimes scale with -n (defaults of a
-			// million, a hundred thousand, five thousand over a 20-run
-			// grid, and a million requests per shard count), so they only
-			// run when named explicitly.
-			if k == "ext-mega" || k == "ext-fleet-chaos" || k == "ext-scenarios" || k == "ext-fleet-scale" {
+			// ext-mega's, ext-fleet-chaos's, ext-scenarios's,
+			// ext-fleet-scale's, and ext-elastic's runtimes scale with -n
+			// (defaults of a million, a hundred thousand, five thousand
+			// over a 20-run grid, a million per shard count, and twenty
+			// thousand per split), so they only run when named explicitly.
+			if k == "ext-mega" || k == "ext-fleet-chaos" || k == "ext-scenarios" || k == "ext-fleet-scale" || k == "ext-elastic" {
 				continue
 			}
 			args = append(args, k)
@@ -308,6 +313,14 @@ extensions (not paper exhibits):
                  sim req/s, speedup, and a result digest proving the runs
                  byte-identical (not part of "all"; size with -n and
                  -fleet, pin the sweep with -shards)
+  ext-elastic    elastic role flipping on the mixshift scenario: static
+                 2P/2D, 3P/1D, and 1P/3D splits vs an elastic 2P/2D fleet
+                 whose controller flips instances between prefill and
+                 decode as the phase mix moves; reports goodput-at-SLO,
+                 flip/migration counts, and per-run result digests
+                 (not part of "all"; size with -n, pin shards with
+                 -shards; -elastic additionally applies the policy to
+                 ext-fleet-chaos)
 
 flags:
 `)

@@ -56,6 +56,12 @@ type Options struct {
 	FleetScaleReplicas int
 	// ScenarioRequests sizes ExpScenarios's runs; <= 0 means 5,000.
 	ScenarioRequests int
+	// ElasticRequests sizes ExpElastic's runs; <= 0 means 20,000.
+	ElasticRequests int
+	// Elastic additionally runs ExpFleetChaos's fleets with the default
+	// elastic role-flipping policy (windbench -elastic). ExpElastic always
+	// compares elastic against static splits regardless of this flag.
+	Elastic bool
 	// Scenario restricts ExpScenarios to one named workload scenario;
 	// empty runs the whole library.
 	Scenario string

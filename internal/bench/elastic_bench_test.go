@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// elasticSmall sizes ExpElastic for tests: long enough to cross the
+// mixshift phase boundary (so the controller actually flips) and the
+// flash crowd, short enough for the default test timeout.
+func elasticSmall() Options {
+	o := small()
+	o.ElasticRequests = 6000
+	return o
+}
+
+func TestExpElastic(t *testing.T) {
+	var sb strings.Builder
+	rows, err := ExpElastic(elasticSmall(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (three static splits + elastic)", len(rows))
+	}
+	var elastic int
+	for _, r := range rows {
+		if r.Completed != 6000 {
+			t.Errorf("%s: completed %d of 6000", r.Config, r.Completed)
+		}
+		if r.Digest == "" {
+			t.Errorf("%s: empty result digest", r.Config)
+		}
+		if r.Elastic {
+			elastic++
+			if r.Flips == 0 {
+				t.Errorf("%s: controller never flipped across a phase boundary", r.Config)
+			}
+		} else if r.Flips != 0 || r.Migrated != 0 || r.Requeued != 0 {
+			t.Errorf("%s: static split reported flip activity: %+v", r.Config, r)
+		}
+	}
+	if elastic != 1 {
+		t.Fatalf("got %d elastic rows, want 1", elastic)
+	}
+	out := sb.String()
+	for _, want := range []string{"mixshift", "2P/2D elastic", "goodput", "result digest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestElasticParallelByteIdentical extends the runner contract to the
+// elastic exhibit: serial and fanned-out execution print the same bytes —
+// the property the CI elastic-smoke job enforces end to end (which also
+// compares shard counts; fleet-level shard identity is pinned in
+// internal/fleet's elastic tests).
+func TestElasticParallelByteIdentical(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4} {
+		o := elasticSmall()
+		o.Parallel = workers
+		var sb strings.Builder
+		if _, err := ExpElastic(o, &sb); err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = sb.String()
+			continue
+		}
+		if got := sb.String(); got != want {
+			t.Errorf("parallel=%d output differs from serial\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"windserve/internal/elastic"
 	"windserve/internal/fault"
 	"windserve/internal/fleet"
 	"windserve/internal/model"
@@ -31,6 +32,9 @@ type FleetRow struct {
 	// fleet throughput returned to ≥90% of its pre-crash baseline.
 	RecoverySec []float64
 	BrownoutSec float64
+	// Flips counts elastic role flips (nonzero only under windbench
+	// -elastic, which runs these fleets with the default flipping policy).
+	Flips int
 }
 
 // DefaultChaosPlan builds the exhibit's standard chaos schedule, scaled to
@@ -94,6 +98,12 @@ func ExpFleetChaos(o Options, w io.Writer, plan *fault.Plan) ([]FleetRow, error)
 	if rcfg.NumDecode <= 0 {
 		rcfg.NumDecode = 1
 	}
+	if o.Elastic {
+		// The one-instance-per-role floor pins a 1P/1D replica in place;
+		// widen to 2P/2D so the controller has room to flip.
+		rcfg.NumPrefill = max(rcfg.NumPrefill, 2)
+		rcfg.NumDecode = max(rcfg.NumDecode, 2)
+	}
 	// 3 req/s/GPU is comfortably under OPT-13B capacity, so the clean runs
 	// meet SLO and the chaos runs isolate the faults' damage.
 	const perGPURate = 3.0
@@ -142,6 +152,9 @@ func ExpFleetChaos(o Options, w io.Writer, plan *fault.Plan) ([]FleetRow, error)
 			if j.chaos {
 				cfg.Faults = plan
 			}
+			if o.Elastic {
+				cfg.Elastic = elastic.Default()
+			}
 			g := workload.NewGenerator(ds, workload.PoissonArrivals{Rate: rate}, o.Seed)
 			res, err := fleet.RunFrom(cfg, g.Source(n))
 			if err != nil {
@@ -155,6 +168,7 @@ func ExpFleetChaos(o Options, w io.Writer, plan *fault.Plan) ([]FleetRow, error)
 				FailedOver: res.FailedOver, Recovered: res.Recovered,
 				WastedTokens: res.WastedTokens,
 				RecoverySec:  res.RecoverySec, BrownoutSec: res.BrownoutSec,
+				Flips: res.Flips,
 			}, nil
 		}
 	}
@@ -177,7 +191,17 @@ func ExpFleetChaos(o Options, w io.Writer, plan *fault.Plan) ([]FleetRow, error)
 			pctStr(r.Attainment), r.GoodputRPS, r.FailedOver, r.Recovered,
 			r.WastedTokens, recoveryStr(r.RecoverySec), r.BrownoutSec)
 	}
-	return rows, tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return rows, err
+	}
+	if o.Elastic {
+		var flips int
+		for _, r := range rows {
+			flips += r.Flips
+		}
+		fmt.Fprintf(w, "elastic role flipping on (default policy): %d flips across %d runs\n", flips, len(rows))
+	}
+	return rows, nil
 }
 
 // recoveryStr renders per-crash recovery times: "-" when no crash was

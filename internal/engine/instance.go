@@ -285,6 +285,40 @@ func (ins *Instance) Slowdown() float64 {
 	return 1
 }
 
+// SetAllowPrefill changes whether the main stream accepts prefill work —
+// the elastic role-flip switch. Enabling kicks the engine (queued
+// prompts may now form a pass); disabling never interrupts a pass in
+// flight, and requests already queued or mid-chunk keep draining (the
+// batch former reads the flag per pass, so only future passes change).
+func (ins *Instance) SetAllowPrefill(v bool) {
+	if ins.cfg.AllowPrefill == v {
+		return
+	}
+	ins.cfg.AllowPrefill = v
+	if v {
+		ins.Kick()
+	}
+}
+
+// DrainPrefillQueue removes and returns the untouched portion of the
+// main-stream prefill queue — requests no pass has started and no KV
+// allocation binds here — preserving FCFS order. Requests mid-pass or
+// with resident KV (a chunked prefill between passes, a prefix-cache
+// hold) stay and finish locally; the caller re-routes the drained rest.
+func (ins *Instance) DrainPrefillQueue() []*Req {
+	var drained []*Req
+	keep := ins.prefillQ[:0]
+	for _, r := range ins.prefillQ {
+		if r.inPass || ins.cfg.KV.Has(r.KVID()) {
+			keep = append(keep, r)
+		} else {
+			drained = append(drained, r)
+		}
+	}
+	ins.prefillQ = keep
+	return drained
+}
+
 // Abort removes a cancelled request from every queue and releases its KV
 // here. The caller must have set PhaseAborted first so in-flight pass
 // effects (which cannot be recalled) skip the request when they apply.

@@ -27,11 +27,13 @@ const (
 	mRestore               // bring a crashed replica back
 	mSlowdown              // f: compute slowdown factor
 	mDegrade               // f: link bandwidth fraction
+	mFlip                  // a=1: flip an acting prefill to decode; a=0 the reverse
 
 	// replica → router
 	mEvictReply   // id, seq, ok, lost, gen: eviction outcome
 	mOrphan       // id, lost, gen: request orphaned by a crash
-	mLoad         // a=queue depth, b=in-flight: delta-suppressed load report
+	mFlipDone     // ok, a=streams migrating, b=prefills requeued: flip outcome
+	mLoad         // a=queue depth, b=in-flight, ld=elastic signals: delta-suppressed load report
 	mPrefillStart // id, t: ledger forward
 	mFirstToken   // id, t: ledger forward
 	mDecodeStart  // id, t: ledger forward
@@ -52,6 +54,18 @@ type msg struct {
 	f    float64
 	t    sim.Time // the true event time a ledger forward carries
 	w    workload.Request
+	ld   loadInfo // elastic pressure signals riding mLoad (zero unless elastic)
+}
+
+// loadInfo is the per-replica elastic pressure snapshot carried by mLoad.
+// Populated only when the fleet runs elastic; otherwise every field stays
+// zero and the wire format is byte-identical to the static fleet's.
+type loadInfo struct {
+	qTok   int // prompt-token backlog across acting prefills
+	run    int // streams running across acting decodes
+	sumCtx int // total context tokens across those streams
+	actP   int // instances currently acting as prefill
+	actD   int // instances currently acting as decode
 }
 
 // replicaActor runs one serve.Replica on its shard and speaks msg to the
@@ -66,6 +80,7 @@ type replicaActor struct {
 	rp  *serve.Replica
 
 	lastQ, lastIn int
+	lastSig       loadInfo
 	reporting     bool
 	reportFn      func()
 }
@@ -102,6 +117,12 @@ func (ra *replicaActor) handle(m msg) {
 		ra.rp.SetSlowdown(m.f)
 	case mDegrade:
 		ra.rp.DegradeLinks(m.f)
+	case mFlip:
+		res := ra.rp.Flip(m.a == 1)
+		ra.send(msg{kind: mFlipDone, ok: res.OK, a: res.Migrating, b: res.Requeued})
+		// A flip reshapes the load signals immediately; make sure the
+		// report chain is running to carry the new shape to the router.
+		ra.kickReports()
 	}
 }
 
@@ -118,9 +139,13 @@ func (ra *replicaActor) kickReports() {
 
 func (ra *replicaActor) report() {
 	q, in := ra.rp.QueueDepth(), ra.rp.InFlight()
-	if q != ra.lastQ || in != ra.lastIn {
-		ra.lastQ, ra.lastIn = q, in
-		ra.send(msg{kind: mLoad, a: q, b: in})
+	var sig loadInfo
+	if ra.f.cfg.Elastic.Enabled {
+		sig.qTok, sig.run, sig.sumCtx, sig.actP, sig.actD = ra.rp.LoadSignals()
+	}
+	if q != ra.lastQ || in != ra.lastIn || sig != ra.lastSig {
+		ra.lastQ, ra.lastIn, ra.lastSig = q, in, sig
+		ra.send(msg{kind: mLoad, a: q, b: in, ld: sig})
 	}
 	if q == 0 && in == 0 {
 		ra.reporting = false // idle: park; the next Submit restarts it
@@ -183,6 +208,9 @@ type replicaHandle struct {
 	q        int // last reported queue depth
 	inflight int // last reported in-flight count
 	bump     int // routed since last report
+	// sig is the last reported elastic pressure snapshot (zero until the
+	// replica's first elastic report; always zero in a static fleet).
+	sig loadInfo
 }
 
 func (h *replicaHandle) Name() string    { return h.name }

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"windserve/internal/elastic"
 	"windserve/internal/fault"
 	"windserve/internal/kvcache"
 	"windserve/internal/metrics"
@@ -91,6 +92,13 @@ type Config struct {
 	// (default 2).
 	BrownoutSlack float64
 
+	// Elastic turns on runtime prefill↔decode role flipping: the fleet's
+	// RoleController watches each replica's reported pressure signals and
+	// flips instances between roles under hysteresis, cooldown, and a
+	// minimum-per-role floor, draining in-flight work through the replica's
+	// link mesh. The zero value keeps the fleet static and byte-identical.
+	Elastic elastic.Policy
+
 	// Faults is the chaos schedule: replica-granularity events
 	// (rcrash/rslow/rpart) plus degrade and cancel. Instance-granularity
 	// events (crash/slow) are rejected — address replicas in fleet plans.
@@ -125,6 +133,13 @@ type Result struct {
 	WastedTokens int
 	// BrownoutSec is the virtual time spent in brown-out.
 	BrownoutSec float64
+	// Flips counts executed role flips across the fleet; FlipMigrated is
+	// the decode streams that changed instances mid-flight because of
+	// them, FlipRequeued the queued prefills re-routed. All zero in a
+	// static fleet.
+	Flips        int
+	FlipMigrated int
+	FlipRequeued int
 	// RecoverySec has one entry per replica-crash event: seconds from
 	// crash onset until fleet completion throughput is back to ≥90% of
 	// its pre-crash baseline, or -1 if it never recovered in the run.
@@ -188,6 +203,9 @@ type fleet struct {
 	partitioned []bool
 	pol         policy
 
+	// rc is the elastic role controller; nil in a static fleet.
+	rc *roleController
+
 	state  map[uint64]*reqState
 	parked []uint64 // FIFO of requests waiting for any healthy replica
 
@@ -235,6 +253,12 @@ func (c *Config) validate() error {
 	if c.Shards > 1 && c.Replica.Tracer != nil {
 		return fmt.Errorf("fleet: tracing is single-threaded; run with Shards <= 1")
 	}
+	if c.Replica.Elastic {
+		return fmt.Errorf("fleet: set Config.Elastic (the policy), not Replica.Elastic; the fleet wires replicas itself")
+	}
+	if err := c.Elastic.Validate(); err != nil {
+		return err
+	}
 	if _, err := newPolicy(c.Policy); err != nil {
 		return err
 	}
@@ -277,6 +301,7 @@ func (c *Config) fillDefaults() {
 	if sim.Time(c.NetDelay) > sim.Time(c.Horizon) {
 		c.NetDelay = c.Horizon // lookahead may never exceed the drain cap
 	}
+	c.Elastic = c.Elastic.WithDefaults()
 }
 
 // Run executes one fleet experiment over a materialized trace.
@@ -314,6 +339,7 @@ func RunFrom(cfg Config, src workload.Source) (*Result, error) {
 		ra.reportFn = ra.report
 		rcfg := cfg.Replica
 		rcfg.NamePrefix = fmt.Sprintf("r%d/", i)
+		rcfg.Elastic = cfg.Elastic.Enabled
 		if cfg.Decisions != nil {
 			rcfg.Decisions = sched.NewDecisionLog()
 		} else {
@@ -332,6 +358,13 @@ func RunFrom(cfg Config, src workload.Source) (*Result, error) {
 	}
 	if err := f.installFaults(); err != nil {
 		return nil, err
+	}
+	if cfg.Elastic.Enabled {
+		rc, err := newRoleController(f)
+		if err != nil {
+			return nil, err
+		}
+		f.rc = rc
 	}
 
 	f.src = src
@@ -370,6 +403,9 @@ func (f *fleet) routerMsg(idx int, m msg) {
 	case mLoad:
 		h := f.replicas[idx]
 		h.q, h.inflight, h.bump = m.a, m.b, 0
+		h.sig = m.ld
+	case mFlipDone:
+		f.rc.flipDone(idx, m)
 	case mPrefillStart:
 		if f.rec.InFlight(m.id) {
 			f.rec.PrefillStart(m.id, m.t)
@@ -430,6 +466,7 @@ func (f *fleet) admit(w workload.Request) {
 	}
 	st := &reqState{w: w, replica: -1}
 	f.state[w.ID] = st
+	f.rc.kick()
 	if dl := f.cfg.TTFTDeadline; dl > 0 {
 		id := w.ID
 		f.s.Schedule(dl, func() {
@@ -677,8 +714,10 @@ func (f *fleet) numHealthy() int {
 	return n
 }
 
-// updateBrownout applies the hysteresis: enter at BrownoutDepth mean
-// queue depth per healthy replica, exit at half.
+// updateBrownout applies the overload hysteresis — enter at BrownoutDepth
+// mean queue depth per healthy replica, exit at half — through the same
+// elastic helpers the role controller's flip deferral reads, so the two
+// mechanisms can never disagree about what "overloaded" means.
 func (f *fleet) updateBrownout() {
 	d := f.cfg.BrownoutDepth
 	if d == 0 {
@@ -686,14 +725,15 @@ func (f *fleet) updateBrownout() {
 	}
 	nh := f.numHealthy()
 	if nh == 0 {
-		return
+		return // no denominator: hold the current state
 	}
-	mean := f.totalQueueDepth() / nh
-	if !f.brownout && mean >= d {
+	mean := elastic.MeanQueueDepth(f.totalQueueDepth(), nh)
+	now := elastic.OverloadHysteresis(f.brownout, mean, d)
+	if now && !f.brownout {
 		f.brownout = true
 		f.brownoutSince = f.s.Now()
 		f.dec.AddRoute(f.s.Now(), 0, "router", "brownout-enter")
-	} else if f.brownout && mean <= d/2 {
+	} else if !now && f.brownout {
 		f.brownout = false
 		f.brownoutSec += f.s.Now().Sub(f.brownoutSince).Seconds()
 		f.dec.AddRoute(f.s.Now(), 0, "router", "brownout-exit")
@@ -789,6 +829,9 @@ func (f *fleet) finish() *Result {
 		f.brownout = false
 	}
 	res.BrownoutSec = f.brownoutSec
+	if f.rc != nil {
+		res.Flips, res.FlipMigrated, res.FlipRequeued = f.rc.flips, f.rc.migrated, f.rc.requeued
+	}
 	res.Aborted = f.aborted
 	for _, ra := range f.acts {
 		res.Aborted += ra.rp.Aborted()

@@ -90,6 +90,14 @@ type Config struct {
 	// prefix caching. The zero value keeps caching off, so default runs
 	// are byte-identical.
 	Prefix PrefixPolicy
+
+	// Elastic wires the prefill/decode cluster for runtime role flipping:
+	// full link matrices between same-role instances, role masks, and the
+	// drain/migrate protocol behind Replica.Flip. Only the DistServe-style
+	// cluster (RunDistServe, fleet replicas) supports it; the flip
+	// decisions themselves come from the fleet's RoleController. The zero
+	// value keeps the static wiring, so default runs are byte-identical.
+	Elastic bool
 }
 
 // PrefixPolicy configures cross-request prefix caching: requests carrying

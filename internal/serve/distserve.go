@@ -64,6 +64,27 @@ type pd struct {
 	// p2d[i][j] carries post-prefill KV transfers from prefill i to
 	// decode j; d2p[j][i] carries migrations and backups the other way.
 	p2d, d2p [][]*xfer.Link
+	// pp and dd (elastic only) complete the link mesh for flipped roles:
+	// pp[i][i'] between prefill homes, dd[j][j'] between decode homes,
+	// nil on the diagonals. With Elastic off both stay nil and every
+	// index space collapses to the static one — byte-identical wiring.
+	pp, dd [][]*xfer.Link
+
+	// pFlipped[i] marks home prefill i currently acting as a decode
+	// instance; dFlipped[j] marks home decode j acting as prefill. Both
+	// nil unless cfg.Elastic. Routing works in extended index spaces:
+	// prefill-space i ∈ [0, P+D) (i ≥ P is home decode i-P acting
+	// prefill) and decode-space j ∈ [0, D+P) (j ≥ D is home prefill j-D
+	// acting decode); prefillAt holds prefill-space indices, decodeAt
+	// decode-space indices.
+	pFlipped, dFlipped []bool
+
+	// migrating tracks decode streams mid-flight between acting decodes
+	// (a role flip draining its batch). The pointer identity check
+	// against the stored request guards the transfer callback: a crash
+	// or abort that scrubbed and re-admitted the same ID leaves a stale
+	// callback that must not touch the new incarnation.
+	migrating map[uint64]*flipMigration
 
 	// prefillAt and decodeAt remember each request's instances, so
 	// transfers pick the right link and releases hit the right manager.
@@ -77,6 +98,13 @@ type pd struct {
 
 	// stats
 	asyncXfers int
+	flips      int
+}
+
+// flipMigration is one decode stream's flight record between acting decodes.
+type flipMigration struct {
+	q        *engine.Req
+	src, dst int // decode-space indices
 }
 
 // pdHooks lets WindServe inject policy into the shared wiring.
@@ -142,6 +170,35 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 			d.d2p[j][i] = xfer.NewLink(r.s, fmt.Sprintf("%sd%d-p%d", px, j, i), spec, xfer.DefaultEfficiency)
 		}
 	}
+	if cfg.Elastic {
+		// Role flips route KV between same-home-role instances, so the
+		// mesh needs the two remaining quadrants.
+		d.pFlipped = make([]bool, cfg.NumPrefill)
+		d.dFlipped = make([]bool, cfg.NumDecode)
+		d.migrating = make(map[uint64]*flipMigration)
+		d.pp = make([][]*xfer.Link, cfg.NumPrefill)
+		for i := range d.pp {
+			d.pp[i] = make([]*xfer.Link, cfg.NumPrefill)
+			for i2 := range d.pp[i] {
+				if i2 == i {
+					continue
+				}
+				spec := cluster.TransferLink(cfg.Topo, pAsg[i], pAsg[i2])
+				d.pp[i][i2] = xfer.NewLink(r.s, fmt.Sprintf("%sp%d-p%d", px, i, i2), spec, xfer.DefaultEfficiency)
+			}
+		}
+		d.dd = make([][]*xfer.Link, cfg.NumDecode)
+		for j := range d.dd {
+			d.dd[j] = make([]*xfer.Link, cfg.NumDecode)
+			for j2 := range d.dd[j] {
+				if j2 == j {
+					continue
+				}
+				spec := cluster.TransferLink(cfg.Topo, dAsg[j], dAsg[j2])
+				d.dd[j][j2] = xfer.NewLink(r.s, fmt.Sprintf("%sd%d-d%d", px, j, j2), spec, xfer.DefaultEfficiency)
+			}
+		}
+	}
 
 	for i, a := range pAsg {
 		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
@@ -165,11 +222,31 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 			}
 			d.serialTransfer(q)
 		}
-		if ph.onComplete != nil {
+		if ph.onComplete != nil || cfg.Elastic {
 			base := hooks.OnComplete
 			hooks.OnComplete = func(q *engine.Req) {
 				base(q)
-				ph.onComplete(q)
+				if ph.onComplete != nil {
+					ph.onComplete(q)
+				}
+				if cfg.Elastic {
+					// A home prefill acting as decode retires streams here.
+					delete(d.decodeAt, q.W.ID)
+					delete(d.prefillAt, q.W.ID)
+					d.retryTransfers()
+				}
+			}
+		}
+		if cfg.Elastic {
+			hooks.OnIterationEnd = func() {
+				d.retryTransfers()
+			}
+			hooks.OnEvicted = func(q *engine.Req) {
+				// Acting decode out of swap space: recompute from scratch
+				// on a current acting prefill.
+				q.Assist = false
+				delete(d.decodeAt, q.W.ID)
+				d.prefillRR(q)
 			}
 		}
 		ins, err := engine.NewInstance(r.s, engine.Config{
@@ -195,6 +272,15 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 		host := xfer.NewLink(r.s, fmt.Sprintf("%sdecode%d-host", px, j), cfg.Topo.HostPath(), xfer.DefaultEfficiency)
 		hooks := r.recorderHooks()
 		hooks.OnPrefillDone = func(q *engine.Req) {
+			if cfg.Elastic && !q.Assist {
+				// Main-stream prefill on a home decode acting as prefill:
+				// the KV crosses to an acting decode like any other.
+				if ph.transfer != nil && ph.transfer(q) {
+					return
+				}
+				d.serialTransfer(q)
+				return
+			}
 			// Only reachable for dispatched assists (WindServe): the first
 			// token was produced here and the KV is already local.
 			d.decodes[j].AdmitDecode(q)
@@ -236,17 +322,120 @@ func newPD(r *runner, cfg Config, ph pdHooks) (*pd, error) {
 	return d, nil
 }
 
-// prefillRR enqueues a request on the next live prefill instance
-// round-robin. With every instance down the request parks on instance 0's
-// queue; a later Restore drains it.
+// --- Extended index spaces (elastic role flipping) ---------------------
+//
+// With Elastic off every helper collapses to the static layout: pSpace
+// is len(prefills), dSpace is len(decodes), the masks are nil (so every
+// home index acts its home role), and pdLink hits p2d — the exact wiring
+// the static systems have always had.
+
+// pSpace is the prefill-space size: home prefills, then home decodes.
+func (d *pd) pSpace() int {
+	if !d.cfg.Elastic {
+		return len(d.prefills)
+	}
+	return len(d.prefills) + len(d.decodes)
+}
+
+// dSpace is the decode-space size: home decodes, then home prefills.
+func (d *pd) dSpace() int {
+	if !d.cfg.Elastic {
+		return len(d.decodes)
+	}
+	return len(d.decodes) + len(d.prefills)
+}
+
+// pIns resolves a prefill-space index to its physical instance.
+func (d *pd) pIns(i int) *engine.Instance {
+	if i < len(d.prefills) {
+		return d.prefills[i]
+	}
+	return d.decodes[i-len(d.prefills)]
+}
+
+// dIns resolves a decode-space index to its physical instance.
+func (d *pd) dIns(j int) *engine.Instance {
+	if j < len(d.decodes) {
+		return d.decodes[j]
+	}
+	return d.prefills[j-len(d.decodes)]
+}
+
+// actingPrefill reports whether prefill-space index i currently serves
+// the prefill role.
+func (d *pd) actingPrefill(i int) bool {
+	if i < len(d.prefills) {
+		return d.pFlipped == nil || !d.pFlipped[i]
+	}
+	return d.dFlipped[i-len(d.prefills)]
+}
+
+// actingDecode reports whether decode-space index j currently serves the
+// decode role.
+func (d *pd) actingDecode(j int) bool {
+	if j < len(d.decodes) {
+		return d.dFlipped == nil || !d.dFlipped[j]
+	}
+	return d.pFlipped[j-len(d.decodes)]
+}
+
+// pdLink returns the link from prefill-space i to decode-space j; nil
+// when both indices name the same physical instance (the transfer is
+// local).
+func (d *pd) pdLink(i, j int) *xfer.Link {
+	np, nd := len(d.prefills), len(d.decodes)
+	switch {
+	case i < np && j < nd:
+		return d.p2d[i][j]
+	case i < np:
+		return d.pp[i][j-nd]
+	case j < nd:
+		return d.dd[i-np][j]
+	default:
+		return d.d2p[i-np][j-nd]
+	}
+}
+
+// ddLink returns the link between two decode-space indices (stream
+// migration); nil on the same physical instance.
+func (d *pd) ddLink(j, j2 int) *xfer.Link {
+	nd := len(d.decodes)
+	switch {
+	case j < nd && j2 < nd:
+		return d.dd[j][j2]
+	case j < nd:
+		return d.d2p[j][j2-nd]
+	case j2 < nd:
+		return d.p2d[j-nd][j2]
+	default:
+		return d.pp[j-nd][j2-nd]
+	}
+}
+
+// prefillRR enqueues a request on the next live acting-prefill instance
+// round-robin. With every instance down the request parks on the
+// round-robin cursor's queue; a later Restore drains it.
 func (d *pd) prefillRR(q *engine.Req) {
-	n := len(d.prefills)
+	n := d.pSpace()
 	i := -1
 	for k := 0; k < n; k++ {
 		c := (d.rr.prefill + k) % n
-		if !d.prefills[c].Down() {
-			i = c
-			break
+		if d.pIns(c).Down() || !d.actingPrefill(c) {
+			continue
+		}
+		i = c
+		break
+	}
+	if i < 0 {
+		// Every acting prefill is down: park on the first acting one (a
+		// later Restore drains it) — with Elastic off that is exactly the
+		// historical rr.prefill%n fallback, since every index acts.
+		for k := 0; k < n; k++ {
+			c := (d.rr.prefill + k) % n
+			if d.actingPrefill(c) {
+				i = c
+				break
+			}
 		}
 	}
 	if i < 0 {
@@ -254,23 +443,23 @@ func (d *pd) prefillRR(q *engine.Req) {
 	}
 	d.rr.prefill = i + 1
 	d.prefillAt[q.W.ID] = i
-	d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.prefills[i].Name(), "round-robin")
-	d.prefills[i].EnqueuePrefill(q)
+	d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.pIns(i).Name(), "round-robin")
+	d.pIns(i).EnqueuePrefill(q)
 }
 
-// prefillIdx returns the prefill instance a request belongs to (0 if it
-// was never routed — defensive).
+// prefillIdx returns the prefill-space index a request belongs to (0 if
+// it was never routed — defensive).
 func (d *pd) prefillIdx(q *engine.Req) int { return d.prefillAt[q.W.ID] }
 
-// pickDecode returns the live decode instance with the most free KV
+// pickDecode returns the live acting-decode index with the most free KV
 // tokens, or -1 when every decode instance is down.
 func (d *pd) pickDecode() int {
 	best := -1
-	for j := 0; j < len(d.decodes); j++ {
-		if d.decodes[j].Down() {
+	for j := 0; j < d.dSpace(); j++ {
+		if d.dIns(j).Down() || !d.actingDecode(j) {
 			continue
 		}
-		if best < 0 || d.decodes[j].FreeKVTokens() > d.decodes[best].FreeKVTokens() {
+		if best < 0 || d.dIns(j).FreeKVTokens() > d.dIns(best).FreeKVTokens() {
 			best = j
 		}
 	}
@@ -317,30 +506,45 @@ func (d *pd) tryStartTransfer(q *engine.Req) bool {
 		return true // cancelled while queued for transfer; just drop it
 	}
 	// Static round-robin for DistServe-style transfers, but skip decode
-	// instances that are down or cannot hold the request right now.
-	n := len(d.decodes)
+	// instances that are down, not acting the decode role, or unable to
+	// hold the request right now.
+	n := d.dSpace()
+	i := d.prefillIdx(q)
 	for k := 0; k < n; k++ {
 		j := (d.rr.decode + k) % n
-		if d.decodes[j].Down() {
+		if d.dIns(j).Down() || !d.actingDecode(j) {
 			continue
 		}
-		if d.decodes[j].KV().Allocate(q.KVID(), q.Ctx()+1) == nil {
+		if d.pIns(i) == d.dIns(j) {
+			// The instance that prefilled this request flipped to decode
+			// before the transfer started: the KV is already resident, so
+			// the stream decodes in place with no copy at all.
+			if !d.dIns(j).KV().Has(q.KVID()) {
+				continue
+			}
 			d.rr.decode = (j + 1) % n
 			d.decodeAt[q.W.ID] = j
-			d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.decodes[j].Name(), "transfer-round-robin")
-			i := d.prefillIdx(q)
+			d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.dIns(j).Name(), "transfer-local")
+			d.dIns(j).AdmitDecode(q)
+			return true
+		}
+		if d.dIns(j).KV().Allocate(q.KVID(), q.Ctx()+1) == nil {
+			d.rr.decode = (j + 1) % n
+			d.decodeAt[q.W.ID] = j
+			d.cfg.Decisions.AddRoute(d.r.s.Now(), q.W.ID, d.dIns(j).Name(), "transfer-round-robin")
 			start := d.r.s.Now()
 			bytes := d.kvBytes(q.Ctx())
-			d.p2d[i][j].Transfer(bytes, func() {
+			lk := d.pdLink(i, j)
+			lk.Transfer(bytes, func() {
 				d.observeTransfer(bytes, start)
-				d.cfg.Tracer.Add(fmt.Sprintf("link %sp%d-d%d", d.cfg.NamePrefix, i, j), trace.KindKVTransfer, start, d.r.s.Now(),
+				d.cfg.Tracer.Add("link "+lk.Name(), trace.KindKVTransfer, start, d.r.s.Now(),
 					fmt.Sprintf("req%d %d tokens", q.W.ID, q.Ctx()))
-				d.prefills[i].ReleaseKV(q)
+				d.pIns(i).ReleaseKV(q)
 				if q.Phase == engine.PhaseAborted {
-					d.releaseAt(d.decodes[j], q)
+					d.releaseAt(d.dIns(j), q)
 					return
 				}
-				if d.decodes[j].Down() || !d.decodes[j].KV().Has(q.KVID()) {
+				if d.dIns(j).Down() || !d.dIns(j).KV().Has(q.KVID()) {
 					// The target crashed while the payload was in flight — its
 					// KV reset dropped the allocation — and may even have
 					// restored already with empty blocks. Re-route through the
@@ -349,7 +553,16 @@ func (d *pd) tryStartTransfer(q *engine.Req) bool {
 					d.serialTransfer(q)
 					return
 				}
-				d.decodes[j].AdmitDecode(q)
+				if d.cfg.Elastic && !d.actingDecode(j) {
+					// The target flipped to prefill while the payload was in
+					// flight; hand the stream to a current acting decode
+					// instead of loading the fresh prefill role with it.
+					d.releaseAt(d.dIns(j), q)
+					delete(d.decodeAt, q.W.ID)
+					d.serialTransfer(q)
+					return
+				}
+				d.dIns(j).AdmitDecode(q)
 			})
 			return true
 		}
@@ -402,12 +615,19 @@ func (d *pd) queueDepth() int {
 // link-transfer in flight is released by that transfer's own callback.
 func (d *pd) abort(q *engine.Req) {
 	if i, ok := d.prefillAt[q.W.ID]; ok {
-		d.prefills[i].Abort(q)
+		d.pIns(i).Abort(q)
 		delete(d.prefillAt, q.W.ID)
 	}
 	if j, ok := d.decodeAt[q.W.ID]; ok {
-		d.decodes[j].Abort(q)
+		d.dIns(j).Abort(q)
 		delete(d.decodeAt, q.W.ID)
+	}
+	if mig, ok := d.migrating[q.W.ID]; ok && mig.q == q {
+		// Mid-migration: KV may be held at both ends; the in-flight
+		// transfer callback sees the registry entry gone and bails.
+		delete(d.migrating, q.W.ID)
+		d.releaseAt(d.dIns(mig.src), q)
+		d.releaseAt(d.dIns(mig.dst), q)
 	}
 	for i, p := range d.transferPending {
 		if p == q {
@@ -429,6 +649,20 @@ func (d *pd) degradeLinks(frac float64) {
 	for j := range d.d2p {
 		for i := range d.d2p[j] {
 			d.d2p[j][i].SetDegradation(frac)
+		}
+	}
+	for _, row := range d.pp {
+		for _, lk := range row {
+			if lk != nil {
+				lk.SetDegradation(frac)
+			}
+		}
+	}
+	for _, row := range d.dd {
+		for _, lk := range row {
+			if lk != nil {
+				lk.SetDegradation(frac)
+			}
 		}
 	}
 }
@@ -520,6 +754,22 @@ func (d *pd) finalize(res *Result) {
 			gb := d.d2p[j][i].BytesMoved / 1e9
 			res.TransferGB += gb
 			res.MigrationGB += gb
+		}
+	}
+	for _, row := range d.pp {
+		for _, lk := range row {
+			if lk != nil {
+				res.TransferGB += lk.BytesMoved / 1e9
+			}
+		}
+	}
+	for _, row := range d.dd {
+		for _, lk := range row {
+			if lk != nil {
+				gb := lk.BytesMoved / 1e9
+				res.TransferGB += gb
+				res.MigrationGB += gb
+			}
 		}
 	}
 	res.AsyncXfers = d.asyncXfers

@@ -7,6 +7,7 @@ import (
 
 	"windserve/internal/engine"
 	"windserve/internal/kvcache"
+	"windserve/internal/perf"
 	"windserve/internal/sched"
 	"windserve/internal/sim"
 	"windserve/internal/workload"
@@ -134,6 +135,9 @@ func (rp *Replica) Crash() []*engine.Req {
 	rp.d.transferPending = rp.d.transferPending[:0]
 	clear(rp.d.prefillAt)
 	clear(rp.d.decodeAt)
+	// In-flight migration callbacks check the registry by pointer and
+	// no-op once their entries are gone.
+	clear(rp.d.migrating)
 	return orphans
 }
 
@@ -161,6 +165,37 @@ func (rp *Replica) SetSlowdown(factor float64) {
 
 // DegradeLinks scales the replica's cross-instance bandwidth.
 func (rp *Replica) DegradeLinks(frac float64) { rp.d.degradeLinks(frac) }
+
+// LoadSignals is the replica's elastic pressure snapshot: prompt-token
+// backlog across acting prefills, stream count and summed context across
+// acting decodes, and the acting role counts. With Elastic off the
+// acting counts are simply the home counts.
+func (rp *Replica) LoadSignals() (qTokens, running, sumCtx, actP, actD int) {
+	return rp.d.loadSignals()
+}
+
+// Flip converts one of the replica's instances to the other role —
+// toDecode true turns an acting prefill into a decode, false the
+// reverse — draining its in-flight work onto the remaining instances.
+// Returns a zero result (OK false) when the replica is down, the config
+// is not elastic, or the flip would empty a role.
+func (rp *Replica) Flip(toDecode bool) FlipResult {
+	if rp.down || !rp.r.cfg.Elastic {
+		return FlipResult{}
+	}
+	return rp.d.flip(toDecode)
+}
+
+// Flips is how many role flips this replica has executed.
+func (rp *Replica) Flips() int { return rp.d.flips }
+
+// CostModels exposes the planned prefill and decode instance cost models
+// (first instance of each role — replicas deploy identical shapes). The
+// fleet's role controller profiles these to predict TTFT and TPOT from
+// the replica's reported load signals.
+func (rp *Replica) CostModels() (prefill, decode *perf.CostModel) {
+	return rp.d.prefills[0].CM(), rp.d.decodes[0].CM()
+}
 
 // Aborted is how many requests this replica terminated via Abort.
 func (rp *Replica) Aborted() int { return rp.r.aborted }
@@ -206,6 +241,20 @@ func (rp *Replica) Stats(elapsed sim.Time) ReplicaStats {
 	for j := range rp.d.d2p {
 		for i := range rp.d.d2p[j] {
 			st.TransferGB += rp.d.d2p[j][i].BytesMoved / 1e9
+		}
+	}
+	for _, row := range rp.d.pp {
+		for _, lk := range row {
+			if lk != nil {
+				st.TransferGB += lk.BytesMoved / 1e9
+			}
+		}
+	}
+	for _, row := range rp.d.dd {
+		for _, lk := range row {
+			if lk != nil {
+				st.TransferGB += lk.BytesMoved / 1e9
+			}
 		}
 	}
 	return st

@@ -36,6 +36,9 @@ func RunWindServe(cfg Config, reqs []workload.Request) (*Result, error) {
 
 // RunWindServeFrom is RunWindServe fed from a pull-based request source.
 func RunWindServeFrom(cfg Config, src workload.Source) (*Result, error) {
+	if cfg.Elastic {
+		return nil, fmt.Errorf("serve: WindServe manages roles through its Global Scheduler; Elastic applies to DistServe-style clusters only")
+	}
 	r, err := newRunner(cfg)
 	if err != nil {
 		return nil, err

@@ -107,6 +107,13 @@ var scenarios = []Scenario{
 			return g.Source(n)
 		},
 	},
+	{
+		Name: "mixshift",
+		Desc: "square-wave swings between prompt-heavy and decode-heavy traffic with a flash crowd — the shifting phase mix role flipping exploits",
+		build: func(n int, rate float64, seed int64) Source {
+			return newMixShiftSource(n, rate, seed)
+		},
+	},
 }
 
 // Scenarios returns the scenario library in display order.
@@ -432,4 +439,86 @@ func (d *diurnalArrivals) Name() string {
 // flash crowd adds ~flashCrowdLen·(factor-1)).
 func (d *diurnalArrivals) MeanRate() float64 {
 	return d.base * (1 + flashCrowdLen*(flashCrowdFactor-1))
+}
+
+// mixShiftSource alternates the request *shape* on a square wave: phases
+// of long prompts with near-trivial outputs (all the work is prefill)
+// swap with phases of short prompts and long generations (all the work
+// is decode), plus one flash crowd inside a decode-heavy phase. The
+// aggregate rate barely moves — what shifts is which phase the tokens
+// land on, so a static prefill:decode split is wrong half the time. This
+// is the workload elastic role flipping is built for, and the ext-elastic
+// exhibit runs it.
+type mixShiftSource struct {
+	rng       *rand.Rand
+	rate      float64
+	remaining int
+	nextID    uint64
+	t         float64 // seconds of virtual time already emitted
+}
+
+const (
+	// mixShiftPhaseSec is the half-cycle: prompt-heavy for one phase,
+	// decode-heavy for the next.
+	mixShiftPhaseSec = 120.0
+	// The flash crowd hits inside the first decode-heavy phase
+	// (t in [mixShiftFlashAt, mixShiftFlashAt+mixShiftFlashLen)).
+	mixShiftFlashAt     = 180.0
+	mixShiftFlashLen    = 20.0
+	mixShiftFlashFactor = 4.0
+	mixShiftMaxCtx      = 4096
+)
+
+func newMixShiftSource(n int, rate float64, seed int64) *mixShiftSource {
+	return &mixShiftSource{
+		rng: rand.New(rand.NewSource(seed)), rate: rate,
+		remaining: n, nextID: 1,
+	}
+}
+
+func mixShiftPromptHeavy() (prompt, output LengthDist) {
+	return LengthDist{Name: "mixshift-doc", Knots: []QuantileKnot{
+			{0, 512}, {0.5, 1400}, {0.9, 2600}, {1, 3600},
+		}}, LengthDist{Name: "mixshift-summary", Knots: []QuantileKnot{
+			{0, 8}, {0.5, 24}, {0.9, 64}, {1, 128},
+		}}
+}
+
+func mixShiftDecodeHeavy() (prompt, output LengthDist) {
+	return LengthDist{Name: "mixshift-question", Knots: []QuantileKnot{
+			{0, 24}, {0.5, 96}, {0.9, 256}, {1, 512},
+		}}, LengthDist{Name: "mixshift-generation", Knots: []QuantileKnot{
+			{0, 128}, {0.5, 420}, {0.9, 900}, {1, 1400},
+		}}
+}
+
+// Next implements Source.
+func (s *mixShiftSource) Next() (Request, bool) {
+	if s.remaining <= 0 {
+		return Request{}, false
+	}
+	r := s.rate
+	if s.t >= mixShiftFlashAt && s.t < mixShiftFlashAt+mixShiftFlashLen {
+		r *= mixShiftFlashFactor
+	}
+	s.t += s.rng.ExpFloat64() / r
+	pd, od := mixShiftPromptHeavy()
+	if int(s.t/mixShiftPhaseSec)%2 == 1 {
+		pd, od = mixShiftDecodeHeavy()
+	}
+	prompt := pd.Sample(s.rng)
+	out := od.Sample(s.rng)
+	if prompt > mixShiftMaxCtx-1 {
+		prompt = mixShiftMaxCtx - 1
+	}
+	if prompt+out > mixShiftMaxCtx {
+		out = mixShiftMaxCtx - prompt
+	}
+	req := Request{
+		ID: s.nextID, Arrival: sim.Time(s.t),
+		PromptTokens: prompt, OutputTokens: out,
+	}
+	s.nextID++
+	s.remaining--
+	return req, true
 }

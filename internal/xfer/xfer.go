@@ -44,6 +44,9 @@ func NewLink(s *sim.Simulator, name string, spec gpu.LinkSpec, efficiency float6
 // Spec returns the underlying hardware path.
 func (l *Link) Spec() gpu.LinkSpec { return l.spec }
 
+// Name returns the link's trace/debug name.
+func (l *Link) Name() string { return l.res.Name() }
+
 // NominalRate returns the healthy effective throughput in bytes/second
 // (raw bandwidth × protocol efficiency, ignoring any injected
 // degradation) — the Profiler's transfer-rate warm start.

@@ -3,7 +3,13 @@
 # per-exhibit regeneration cost, and windbench serial-vs-parallel wall
 # clock. Run from anywhere in the repo:
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [--smoke] [output.json]
+#
+# --smoke shrinks every run (and skips the per-exhibit benchmarks) so the
+# whole script finishes in CI minutes while still writing a JSON with the
+# full schema — the bench-sanity job runs it and checks the fields. Smoke
+# numbers are not representative; the default output then becomes
+# BENCH_sim.smoke.json so the committed capture is never clobbered.
 #
 # The committed BENCH_sim.json was produced by this script; the host's
 # core count is recorded alongside the numbers, since the parallel
@@ -11,7 +17,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_sim.json}
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    smoke=1
+    shift
+fi
+if [[ $smoke -eq 1 ]]; then
+    out=${1:-BENCH_sim.smoke.json}
+else
+    out=${1:-BENCH_sim.json}
+fi
 micro_txt=$(mktemp)
 exhibit_txt=$(mktemp)
 mega_txt=$(mktemp)
@@ -19,19 +34,39 @@ fleet_txt=$(mktemp)
 scale_txt=$(mktemp)
 trap 'rm -f "$micro_txt" "$exhibit_txt" "$mega_txt" "$fleet_txt" "$scale_txt"' EXIT
 
+# Smoke sizes: enough requests for every parser below to find rows,
+# small enough for CI. The full capture uses the exhibits' defaults.
+benchtime=1s
+all_n=300
+mega_args=(ext-mega)
+fleet_args=(ext-fleet-chaos)
+scale_args=(ext-fleet-scale)
+if [[ $smoke -eq 1 ]]; then
+    benchtime=100x
+    all_n=120
+    mega_args=(-n 20000 ext-mega)
+    fleet_args=(-n 4000 -fleet 8 ext-fleet-chaos)
+    scale_args=(-n 20000 ext-fleet-scale)
+fi
+
 echo "== micro-benchmarks (sim, metrics, perf, stats) ==" >&2
 go test -run '^$' -bench 'SimulatorScheduleFire|Summarize|OpenIDs|IterTime|EventQueue|ServeSteady|P2Add|PercentilesOf' \
-    -benchmem ./internal/sim ./internal/metrics ./internal/perf ./internal/stats | tee "$micro_txt" >&2
+    -benchmem -benchtime "$benchtime" ./internal/sim ./internal/metrics ./internal/perf ./internal/stats | tee "$micro_txt" >&2
 
-echo "== exhibit benchmarks (one full regeneration each) ==" >&2
-go test -run '^$' -bench . -benchmem -benchtime 2x . | tee "$exhibit_txt" >&2
+if [[ $smoke -eq 1 ]]; then
+    echo "== exhibit benchmarks skipped (--smoke) ==" >&2
+    : > "$exhibit_txt"
+else
+    echo "== exhibit benchmarks (one full regeneration each) ==" >&2
+    go test -run '^$' -bench . -benchmem -benchtime 2x . | tee "$exhibit_txt" >&2
+fi
 
 echo "== windbench wall clock: serial vs parallel ==" >&2
 go build -o /tmp/windbench.bench ./cmd/windbench
 t0=$(date +%s.%N)
-/tmp/windbench.bench -n 300 -parallel 1 all > /tmp/windbench.serial.txt
+/tmp/windbench.bench -n "$all_n" -parallel 1 all > /tmp/windbench.serial.txt
 t1=$(date +%s.%N)
-/tmp/windbench.bench -n 300 all > /tmp/windbench.parallel.txt
+/tmp/windbench.bench -n "$all_n" all > /tmp/windbench.parallel.txt
 t2=$(date +%s.%N)
 cmp /tmp/windbench.serial.txt /tmp/windbench.parallel.txt \
     || { echo "bench.sh: parallel output differs from serial" >&2; exit 1; }
@@ -40,17 +75,17 @@ parallel=$(echo "$t2 $t1" | awk '{printf "%.3f", $1 - $2}')
 echo "serial ${serial}s  parallel ${parallel}s  ($(nproc) cores)" >&2
 
 echo "== ext-mega: million-request streaming horizon ==" >&2
-/tmp/windbench.bench ext-mega | tee "$mega_txt" >&2
+/tmp/windbench.bench "${mega_args[@]}" | tee "$mega_txt" >&2
 
 echo "== ext-fleet-chaos: 16-replica fleet under seeded chaos ==" >&2
 t5=$(date +%s.%N)
-/tmp/windbench.bench ext-fleet-chaos | tee "$fleet_txt" >&2
+/tmp/windbench.bench "${fleet_args[@]}" | tee "$fleet_txt" >&2
 t6=$(date +%s.%N)
 fleet_wall=$(echo "$t6 $t5" | awk '{printf "%.3f", $1 - $2}')
 echo "ext-fleet-chaos wall clock ${fleet_wall}s" >&2
 
 echo "== ext-fleet-scale: 64-replica fleet across shard counts ==" >&2
-/tmp/windbench.bench ext-fleet-scale | tee "$scale_txt" >&2
+/tmp/windbench.bench "${scale_args[@]}" | tee "$scale_txt" >&2
 grep -q "byte-identical virtual-time results" "$scale_txt" \
     || { echo "bench.sh: sharded fleet results diverged" >&2; exit 1; }
 
@@ -65,7 +100,7 @@ gomaxprocs=${GOMAXPROCS:-$(nproc)}
 MICRO="$micro_txt" EXHIBIT="$exhibit_txt" MEGA="$mega_txt" FLEET="$fleet_txt" \
 SCALE="$scale_txt" \
 FLEET_WALL="$fleet_wall" SERIAL="$serial" PARALLEL="$parallel" OUT="$out" \
-HOST_CORES="$host_cores" GOMAXPROCS_USED="$gomaxprocs" \
+HOST_CORES="$host_cores" GOMAXPROCS_USED="$gomaxprocs" SMOKE="$smoke" \
 python3 - <<'EOF'
 import json, os, re
 
@@ -169,6 +204,7 @@ else:
 
 doc = {
     "description": "Simulation-kernel benchmarks; regenerate with scripts/bench.sh",
+    "smoke": os.environ["SMOKE"] == "1",
     "host_cores": int(os.environ["HOST_CORES"]),
     "gomaxprocs": gomaxprocs,
     "micro": micro,
