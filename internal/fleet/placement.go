@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement is the single source of truth for which shard each replica
+// actor lives on. Placement affects wall-clock balance only, never output:
+// cross-shard message order is built from per-actor quantities (actor id,
+// per-actor sequence numbers) and window ends from global state, so moving
+// an actor between shards is unobservable in virtual time — any placement
+// produces byte-identical results.
+type Placement struct {
+	shardOf []int
+}
+
+// Placement kinds accepted by Config.Placement.
+const (
+	// PlaceRoundRobin pins replica i to shard i % Shards — the historical
+	// layout, kept as the default.
+	PlaceRoundRobin = "round-robin"
+	// PlaceCost balances replicas across shards by measured cost (longest-
+	// processing-time greedy): replicas are taken in descending cost order
+	// and each lands on the currently lightest shard. Costs come from
+	// Config.ReplicaCosts — typically Config.CostsOut of a calibration run.
+	// With no costs every replica weighs 1 and the greedy degenerates to
+	// round-robin.
+	PlaceCost = "cost"
+)
+
+// NewPlacement builds a replica→shard map for the given kind. costs may be
+// nil (uniform); otherwise it must have one entry per replica.
+func NewPlacement(kind string, replicas, shards int, costs []float64) (Placement, error) {
+	if replicas < 1 || shards < 1 {
+		return Placement{}, fmt.Errorf("fleet: placement needs >=1 replicas and shards, got %d/%d", replicas, shards)
+	}
+	if len(costs) != 0 && len(costs) != replicas {
+		return Placement{}, fmt.Errorf("fleet: %d replica costs for %d replicas", len(costs), replicas)
+	}
+	p := Placement{shardOf: make([]int, replicas)}
+	switch kind {
+	case PlaceRoundRobin, "":
+		for i := range p.shardOf {
+			p.shardOf[i] = i % shards
+		}
+	case PlaceCost:
+		// LPT greedy, fully deterministic: ties in cost order break toward
+		// the lower replica index, ties in shard load toward the lower
+		// shard index.
+		order := make([]int, replicas)
+		for i := range order {
+			order[i] = i
+		}
+		cost := func(i int) float64 {
+			if len(costs) == 0 {
+				return 1
+			}
+			return costs[i]
+		}
+		sort.SliceStable(order, func(a, b int) bool { return cost(order[a]) > cost(order[b]) })
+		load := make([]float64, shards)
+		for _, i := range order {
+			best := 0
+			for s := 1; s < shards; s++ {
+				if load[s] < load[best] {
+					best = s
+				}
+			}
+			p.shardOf[i] = best
+			load[best] += cost(i)
+		}
+	default:
+		return Placement{}, fmt.Errorf("fleet: unknown placement %q (want %s or %s)", kind, PlaceRoundRobin, PlaceCost)
+	}
+	return p, nil
+}
+
+// ShardOf returns the shard replica i lives on.
+func (p Placement) ShardOf(i int) int { return p.shardOf[i] }

@@ -1,0 +1,545 @@
+package serve
+
+import (
+	"fmt"
+
+	"windserve/internal/cluster"
+	"windserve/internal/engine"
+	"windserve/internal/kvcache"
+	"windserve/internal/metrics"
+	"windserve/internal/shard"
+	"windserve/internal/sim"
+	"windserve/internal/workload"
+	"windserve/internal/xfer"
+)
+
+// This file extends sharding beyond the fleet: one DistServe testbed's
+// prefill/decode instances partitioned across shard simulators, with the
+// KV-transfer links as the cross-shard wire. The coordinator actor
+// (actor 0, shard 0) owns the recorder, the arrival stream, and all
+// routing; each instance actor owns one engine.Instance and its local
+// state. Every cross-actor interaction is a NetDelay-latent message —
+// NetDelay is the group lookahead — so the run is byte-identical at any
+// shard count, including 1.
+//
+// The message protocol deliberately prices coordination: submits,
+// decode-KV reservations, and post-transfer admissions each cross the
+// wire, so TTFT includes the hops a physically distributed control plane
+// would pay. That makes this a distinct system variant ("DistServe-
+// sharded"), not a bit-identical reimplementation of RunDistServe — the
+// invariance claim is across shard counts and lookahead modes, not
+// against the single-simulator testbed.
+
+// ShardedConfig configures a sharded single-testbed DistServe run.
+type ShardedConfig struct {
+	// Serve is the testbed configuration. Faults, shedding, tracing,
+	// elastic flipping, and prefix caching are not supported in the
+	// sharded testbed and are rejected.
+	Serve Config
+	// Shards partitions the instances across this many shard simulators
+	// (instance k on shard k % Shards; the coordinator on shard 0).
+	// Default 1; clamped to the instance count.
+	Shards int
+	// NetDelay is the coordinator↔instance wire latency and the group's
+	// conservative lookahead. Default 5 ms.
+	NetDelay sim.Duration
+	// Lookahead selects the barrier mode: "adaptive" (default) or
+	// "fixed". Output is byte-identical either way.
+	Lookahead string
+	// ShardStats, when non-nil, receives the group's window/barrier
+	// counters after the run (out of band — never part of Result).
+	ShardStats *shard.Stats
+}
+
+// skind enumerates the sharded testbed's message types.
+type skind uint8
+
+const (
+	// coordinator → prefill
+	sSubmit skind = iota // w: request to prefill
+	sXfer                // id, b=decode index: start the KV transfer
+
+	// coordinator → decode
+	sReserve // id, a=tokens: try to allocate decode KV
+
+	// prefill → decode
+	sAdmit // id, w, a=generated: KV landed; join the decode batch
+
+	// instance → coordinator
+	sReserveRes   // id, ok: reservation outcome
+	sPrefillStart // id, t: ledger forward
+	sFirstToken   // id, t: ledger forward
+	sPrefillDone  // id, a=generated, b=context tokens: route a decode
+	sDecodeStart  // id, t: ledger forward
+	sComplete     // id, t: ledger forward (decode, or prefill for 1-token outputs)
+	sFreeKV       // decode KV freed: retry a parked reservation
+	sEvicted      // id, w: decode ran out of swap; re-prefill from scratch
+)
+
+// smsg is the sharded testbed's wire format; field meaning is per-kind.
+type smsg struct {
+	kind skind
+	to   int // destination actor: 0 = coordinator, k+1 = instance k
+	id   uint64
+	a, b int
+	ok   bool
+	t    sim.Time
+	w    workload.Request
+}
+
+// pdInstance is one instance actor: an engine on its shard plus the local
+// request incarnations. Prefill instances also own their outbound
+// transfer links (the link occupies virtual bandwidth on the prefill's
+// shard; the admission that follows crosses the wire).
+type pdInstance struct {
+	c        *shardedPD
+	k        int // 0..P-1 prefills, P..P+D-1 decodes
+	sh       *shard.Shard[smsg]
+	ins      *engine.Instance
+	reqs     map[uint64]*engine.Req
+	p2d      []*xfer.Link // prefill only: one per decode
+	lastFree int          // decode only: last free-token count reported
+}
+
+// pendingXfer is one prefilled request waiting for decode KV, queued FCFS
+// at the coordinator.
+type pendingXfer struct {
+	id       uint64
+	prefill  int
+	gen, ctx int
+}
+
+// shardedPD is the coordinator actor.
+type shardedPD struct {
+	cfg ShardedConfig
+	g   *shard.Group[smsg]
+	s   *sim.Simulator // shard 0's simulator — the coordinator's clock
+	rec *metrics.Recorder
+
+	insts  []*pdInstance
+	nP, nD int
+
+	rrP, rrD int
+	// pending is the FCFS decode-KV queue. At most one reservation is in
+	// flight at a time (reserving); cursor/tries walk the decode ring for
+	// the head entry.
+	pending       []pendingXfer
+	reserving     bool
+	cursor, tries int
+	// freed remembers a decode free-KV report that arrived mid-walk, so
+	// an exhausted walk restarts once instead of parking past the wakeup.
+	freed bool
+	// prefillAt tracks which prefill instance owns each in-flight prompt,
+	// so the transfer start can be addressed back to it.
+	prefillAt map[uint64]int
+
+	evicted int // decode swap-exhaustion restarts
+
+	src         workload.Source
+	arrivalFn   func()
+	nextReq     workload.Request
+	haveNext    bool
+	arrivals    int
+	lastArrival sim.Time
+}
+
+func (c *ShardedConfig) validate() error {
+	s := &c.Serve
+	if s.Faults != nil {
+		return fmt.Errorf("serve: sharded testbed does not support fault plans")
+	}
+	if s.Tracer != nil {
+		return fmt.Errorf("serve: sharded testbed does not support tracing")
+	}
+	if s.Elastic {
+		return fmt.Errorf("serve: sharded testbed does not support elastic role flipping")
+	}
+	if s.Prefix.Enabled {
+		return fmt.Errorf("serve: sharded testbed does not support prefix caching")
+	}
+	if s.Shed != (ShedPolicy{}) {
+		return fmt.Errorf("serve: sharded testbed does not support shedding")
+	}
+	switch c.Lookahead {
+	case "", "adaptive", "fixed":
+	default:
+		return fmt.Errorf("serve: unknown lookahead mode %q (want adaptive or fixed)", c.Lookahead)
+	}
+	if c.Shards < 0 || c.NetDelay < 0 {
+		return fmt.Errorf("serve: negative shard knob")
+	}
+	return s.validate()
+}
+
+// RunShardedDistServe runs the sharded testbed over a materialized trace.
+func RunShardedDistServe(cfg ShardedConfig, reqs []workload.Request) (*Result, error) {
+	return RunShardedDistServeFrom(cfg, workload.NewSliceSource(reqs))
+}
+
+// RunShardedDistServeFrom runs one DistServe testbed with its instances
+// partitioned across shard simulators.
+func RunShardedDistServeFrom(cfg ShardedConfig, src workload.Source) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Serve.fillDefaults()
+	n := cfg.Serve.NumPrefill + cfg.Serve.NumDecode
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > n {
+		cfg.Shards = n
+	}
+	if cfg.NetDelay == 0 {
+		cfg.NetDelay = sim.Seconds(0.005)
+	}
+	if sim.Time(cfg.NetDelay) > sim.Time(cfg.Serve.Horizon) {
+		cfg.NetDelay = cfg.Serve.Horizon
+	}
+
+	g := shard.NewGroup[smsg](cfg.Shards, cfg.NetDelay)
+	if cfg.Lookahead == "fixed" {
+		g.SetMode(shard.FixedGrid)
+	}
+	g.GrowActors(n + 1)
+	rec := metrics.NewRecorder()
+	if cfg.Serve.Stream.Enabled {
+		rec = metrics.NewStreamingRecorder(cfg.Serve.SLO, cfg.Serve.Stream.MaxRecords)
+	}
+	c := &shardedPD{
+		cfg: cfg, g: g, s: g.Shard(0).Sim(), rec: rec,
+		nP: cfg.Serve.NumPrefill, nD: cfg.Serve.NumDecode,
+		prefillAt: make(map[uint64]int),
+	}
+	if err := c.buildInstances(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		g.Shard(i).OnMessage(c.dispatch)
+	}
+
+	c.src = src
+	c.arrivalFn = c.arrive
+	if w, ok := src.Next(); ok {
+		c.nextReq, c.haveNext = w, true
+		c.s.At(w.Arrival, c.arrivalFn)
+	} else {
+		g.SetEnd(sim.Time(0).Add(cfg.Serve.Horizon))
+	}
+
+	g.Run(cfg.Shards > 1)
+
+	if cfg.ShardStats != nil {
+		*cfg.ShardStats = g.Stats()
+	}
+	return c.finish(), nil
+}
+
+// buildInstances plans the cluster and places instance k's engine — and,
+// for prefills, its outbound transfer links — on shard k % Shards.
+func (c *shardedPD) buildInstances() error {
+	cfg := c.cfg.Serve
+	specs := make([]cluster.InstanceSpec, 0, c.nP+c.nD)
+	for i := 0; i < c.nP; i++ {
+		specs = append(specs, cluster.InstanceSpec{Role: cluster.RolePrefill, Place: cfg.PrefillPlace})
+	}
+	for j := 0; j < c.nD; j++ {
+		specs = append(specs, cluster.InstanceSpec{Role: cluster.RoleDecode, Place: cfg.DecodePlace})
+	}
+	asg, err := cluster.Plan(cfg.Topo, cfg.Model, cfg.Params, cfg.ReserveFrac, specs...)
+	if err != nil {
+		return fmt.Errorf("serve: planning sharded DistServe: %w", err)
+	}
+	px := cfg.NamePrefix
+	for k := 0; k < c.nP+c.nD; k++ {
+		sh := c.g.Shard(k % c.cfg.Shards)
+		pi := &pdInstance{c: c, k: k, sh: sh, reqs: make(map[uint64]*engine.Req)}
+		a := asg[k]
+		kv, err := kvcache.New(a.KVTokens, cfg.CPUSwapTokens, cfg.BlockSize)
+		if err != nil {
+			return err
+		}
+		prefill := k < c.nP
+		var name string
+		if prefill {
+			name = fmt.Sprintf("%sprefill-%d", px, k)
+		} else {
+			name = fmt.Sprintf("%sdecode-%d", px, k-c.nP)
+		}
+		host := xfer.NewLink(sh.Sim(), name+"-host", cfg.Topo.HostPath(), xfer.DefaultEfficiency)
+		ins, err := engine.NewInstance(sh.Sim(), engine.Config{
+			Name: name, CM: a.CM, KV: kv, HostLink: host,
+			AllowPrefill: prefill, ChunkSize: cfg.ChunkSize,
+			MaxPrefillTokens: cfg.MaxPrefillTokens, MaxDecodeBatch: cfg.MaxDecodeBatch,
+		}, pi.hooks(prefill))
+		if err != nil {
+			return err
+		}
+		pi.ins = ins
+		if prefill {
+			pi.p2d = make([]*xfer.Link, c.nD)
+			for j := 0; j < c.nD; j++ {
+				spec := cluster.TransferLink(cfg.Topo, a, asg[c.nP+j])
+				pi.p2d[j] = xfer.NewLink(sh.Sim(), fmt.Sprintf("%sp%d-d%d", px, k, j), spec, xfer.DefaultEfficiency)
+			}
+		}
+		c.insts = append(c.insts, pi)
+	}
+	return nil
+}
+
+// hooks wires one instance's engine callbacks to the message protocol.
+func (pi *pdInstance) hooks(prefill bool) engine.Hooks {
+	h := engine.Hooks{
+		OnComplete: func(q *engine.Req) {
+			delete(pi.reqs, q.W.ID)
+			pi.send(smsg{kind: sComplete, id: q.W.ID, t: pi.sh.Sim().Now()})
+			if !prefill {
+				pi.reportFree()
+			}
+		},
+	}
+	if prefill {
+		h.OnPrefillStart = func(q *engine.Req) {
+			pi.send(smsg{kind: sPrefillStart, id: q.W.ID, t: pi.sh.Sim().Now()})
+		}
+		h.OnFirstToken = func(q *engine.Req) {
+			pi.send(smsg{kind: sFirstToken, id: q.W.ID, t: pi.sh.Sim().Now()})
+		}
+		h.OnPrefillDone = func(q *engine.Req) {
+			q.Phase = engine.PhaseTransferring
+			pi.send(smsg{kind: sPrefillDone, id: q.W.ID, a: q.Generated, b: q.Ctx()})
+		}
+		return h
+	}
+	h.OnDecodeStart = func(q *engine.Req) {
+		pi.send(smsg{kind: sDecodeStart, id: q.W.ID, t: pi.sh.Sim().Now()})
+	}
+	h.OnIterationEnd = pi.reportFree
+	h.OnEvicted = func(q *engine.Req) {
+		// Swap space exhausted: the KV is gone, so the request restarts
+		// from scratch on a prefill instance, routed by the coordinator.
+		delete(pi.reqs, q.W.ID)
+		pi.send(smsg{kind: sEvicted, id: q.W.ID, w: q.W})
+	}
+	return h
+}
+
+// reportFree tells the coordinator when decode KV grew — the signal that
+// a parked reservation may now succeed. Delta-suppressed: shrinking or
+// unchanged free space sends nothing.
+func (pi *pdInstance) reportFree() {
+	free := pi.ins.FreeKVTokens()
+	if free > pi.lastFree {
+		pi.send(smsg{kind: sFreeKV})
+	}
+	pi.lastFree = free
+}
+
+// send posts a message to the coordinator.
+func (pi *pdInstance) send(m smsg) {
+	m.to = 0
+	pi.sh.Send(0, pi.k+1, pi.c.cfg.NetDelay, m)
+}
+
+// sendTo posts a message to instance k (the prefill→decode admit path).
+func (pi *pdInstance) sendTo(k int, m smsg) {
+	m.to = k + 1
+	pi.sh.Send(k%pi.c.cfg.Shards, pi.k+1, pi.c.cfg.NetDelay, m)
+}
+
+// handle executes one message addressed to this instance.
+func (pi *pdInstance) handle(m smsg) {
+	switch m.kind {
+	case sSubmit:
+		q := engine.NewReq(m.w)
+		pi.reqs[m.w.ID] = q
+		pi.ins.EnqueuePrefill(q)
+	case sXfer:
+		q := pi.reqs[m.id]
+		j := m.b
+		bytes := float64(q.Ctx()) * pi.c.cfg.Serve.Model.KVBytesPerToken()
+		lk := pi.p2d[j]
+		lk.Transfer(bytes, func() {
+			// Payload landed: drop the prefill-side copy and hand the
+			// stream to the decode instance. The admission crosses the
+			// wire like every other control transition.
+			pi.ins.ReleaseKV(q)
+			delete(pi.reqs, m.id)
+			pi.sendTo(pi.c.nP+j, smsg{kind: sAdmit, id: m.id, w: q.W, a: q.Generated})
+		})
+	case sReserve:
+		ok := pi.ins.KV().Allocate(kvcache.RequestID(m.id), m.a) == nil
+		if ok {
+			pi.lastFree = pi.ins.FreeKVTokens()
+		}
+		pi.send(smsg{kind: sReserveRes, id: m.id, ok: ok})
+	case sAdmit:
+		q := &engine.Req{W: m.w, PrefillDone: m.w.PromptTokens, Generated: m.a,
+			Phase: engine.PhaseTransferring}
+		pi.reqs[m.w.ID] = q
+		pi.ins.AdmitDecode(q)
+	}
+}
+
+// dispatch is every shard's delivery handler.
+func (c *shardedPD) dispatch(src int, m smsg) {
+	if m.to == 0 {
+		c.coordMsg(m)
+		return
+	}
+	c.insts[m.to-1].handle(m)
+}
+
+// sendTo posts a coordinator message to instance k.
+func (c *shardedPD) sendTo(k int, m smsg) {
+	m.to = k + 1
+	c.g.Shard(0).Send(k%c.cfg.Shards, 0, c.cfg.NetDelay, m)
+}
+
+// coordMsg handles one instance→coordinator message.
+func (c *shardedPD) coordMsg(m smsg) {
+	switch m.kind {
+	case sPrefillStart:
+		c.rec.PrefillStart(m.id, m.t)
+	case sFirstToken:
+		c.rec.FirstToken(m.id, m.t)
+	case sDecodeStart:
+		c.rec.DecodeStart(m.id, m.t)
+	case sComplete:
+		c.rec.Complete(m.id, m.t)
+		delete(c.prefillAt, m.id) // single-token outputs never reach reserve
+	case sPrefillDone:
+		c.pending = append(c.pending, pendingXfer{id: m.id, prefill: c.prefillOf(m.id), gen: m.a, ctx: m.b})
+		c.pump()
+	case sReserveRes:
+		c.reserveResolved(m)
+	case sFreeKV:
+		c.freed = true
+		c.pump()
+	case sEvicted:
+		c.evicted++
+		c.submitPrefill(m.w, "evict-restart")
+	}
+}
+
+func (c *shardedPD) prefillOf(id uint64) int {
+	return c.prefillAt[id]
+}
+
+// arrive admits one arrival and chains the next; when the source dries
+// up the drain horizon becomes the group's end cap.
+func (c *shardedPD) arrive() {
+	w := c.nextReq
+	c.arrivals++
+	c.lastArrival = w.Arrival
+	c.rec.Arrive(w.ID, w.PromptTokens, w.OutputTokens, c.s.Now())
+	c.submitPrefill(w, "round-robin")
+	if nw, ok := c.src.Next(); ok {
+		c.nextReq = nw
+		c.s.At(nw.Arrival, c.arrivalFn)
+	} else {
+		c.haveNext = false
+		c.g.SetEnd(c.lastArrival.Add(c.cfg.Serve.Horizon))
+	}
+}
+
+// submitPrefill routes one request to the next prefill instance.
+func (c *shardedPD) submitPrefill(w workload.Request, reason string) {
+	i := c.rrP % c.nP
+	c.rrP++
+	c.prefillAt[w.ID] = i
+	c.cfg.Serve.Decisions.AddRoute(c.s.Now(), w.ID, c.insts[i].ins.Name(), reason)
+	c.sendTo(i, smsg{kind: sSubmit, w: w})
+}
+
+// pump advances the FCFS decode-KV queue: at most one reservation in
+// flight; the head entry walks the decode ring until a decode accepts,
+// then the transfer starts and the next entry may reserve while the
+// payload is still moving.
+func (c *shardedPD) pump() {
+	if c.reserving || len(c.pending) == 0 {
+		return
+	}
+	if c.tries >= c.nD {
+		// Every decode refused since the walk started. Park unless a free
+		// report arrived meanwhile — then the walk gets one fresh pass.
+		if !c.freed {
+			return
+		}
+		c.freed, c.tries = false, 0
+	}
+	c.reserving = true
+	head := c.pending[0]
+	c.cursor = (c.rrD + c.tries) % c.nD
+	c.sendTo(c.nP+c.cursor, smsg{kind: sReserve, id: head.id, a: head.ctx + 1})
+}
+
+// reserveResolved handles a decode's answer to the head reservation.
+func (c *shardedPD) reserveResolved(m smsg) {
+	c.reserving = false
+	head := c.pending[0]
+	if head.id != m.id {
+		panic(fmt.Sprintf("serve: reservation reply for %d, head is %d", m.id, head.id))
+	}
+	if !m.ok {
+		c.tries++
+		c.pump()
+		return
+	}
+	j := c.cursor
+	c.rrD = (j + 1) % c.nD
+	c.tries = 0
+	c.pending = c.pending[1:]
+	delete(c.prefillAt, head.id)
+	c.cfg.Serve.Decisions.AddRoute(c.s.Now(), head.id, c.insts[c.nP+j].ins.Name(), "transfer-reserve")
+	c.sendTo(head.prefill, smsg{kind: sXfer, id: head.id, b: j})
+	c.pump()
+}
+
+// finish assembles the Result after the group drains.
+func (c *shardedPD) finish() *Result {
+	elapsed := c.g.LastFired()
+	if c.g.AnyPending() {
+		elapsed = c.lastArrival.Add(c.cfg.Serve.Horizon)
+	}
+	res := &Result{
+		System:          "DistServe-sharded",
+		Requests:        c.arrivals,
+		Unfinished:      c.rec.Outstanding(),
+		Elapsed:         elapsed,
+		Records:         c.rec.Completed(),
+		AbortedRecords:  c.rec.Aborted(),
+		RejectedRecords: c.rec.Rejected(),
+		Recovered:       c.evicted,
+	}
+	if c.rec.Streaming() {
+		res.Summary = c.rec.StreamSummary()
+	} else {
+		res.Summary = metrics.Summarize(res.Records, c.cfg.Serve.SLO)
+	}
+	var pcu, pbu, dcu, dbu, stall float64
+	for _, pi := range c.insts {
+		res.LiveKVBlocks += pi.ins.KV().UsedBlocks()
+		cu, bu := utilization(pi.ins, elapsed)
+		stall += pi.ins.SwapStall.Seconds()
+		if pi.k < c.nP {
+			res.PrefillKV.Accumulate(pi.ins.KV().Stats())
+			pcu += cu
+			pbu += bu
+			for _, lk := range pi.p2d {
+				res.TransferGB += lk.BytesMoved / 1e9
+			}
+		} else {
+			res.DecodeKV.Accumulate(pi.ins.KV().Stats())
+			dcu += cu
+			dbu += bu
+		}
+	}
+	res.PrefillComputeUtil = pcu / float64(c.nP)
+	res.PrefillBWUtil = pbu / float64(c.nP)
+	res.DecodeComputeUtil = dcu / float64(c.nD)
+	res.DecodeBWUtil = dbu / float64(c.nD)
+	res.SwapStallSec = stall
+	return res
+}

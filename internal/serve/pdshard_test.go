@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"windserve/internal/shard"
+	"windserve/internal/sim"
+)
+
+func shardedCfg(t *testing.T) ShardedConfig {
+	t.Helper()
+	cfg := cfg13B(t)
+	cfg.NumPrefill = 2
+	cfg.NumDecode = 2
+	return ShardedConfig{Serve: cfg}
+}
+
+// TestShardedPDByteIdentity is the single-testbed half of the tentpole
+// property: one DistServe testbed partitioned across shard simulators must
+// print a byte-identical Result at every shard count — including 1 — and
+// in both lookahead modes.
+func TestShardedPDByteIdentity(t *testing.T) {
+	reqs := trace13B(3, 200, 17)
+	ref := ""
+	for _, mode := range []string{"adaptive", "fixed"} {
+		for _, shards := range []int{1, 2, 4, 8} { // 8 clamps to the 4 instances
+			cfg := shardedCfg(t)
+			cfg.Shards = shards
+			cfg.Lookahead = mode
+			res, err := RunShardedDistServe(cfg, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fmt.Sprintf("%+v", res)
+			if ref == "" {
+				ref = got
+				if res.Unfinished != 0 {
+					t.Fatalf("%d unfinished requests", res.Unfinished)
+				}
+				if res.Summary.Requests != 200 {
+					t.Fatalf("summarized %d requests, want 200", res.Summary.Requests)
+				}
+				continue
+			}
+			if got != ref {
+				t.Fatalf("result diverges at %d shards (%s lookahead):\nref: %s\ngot: %s",
+					shards, mode, ref, got)
+			}
+		}
+	}
+}
+
+// TestShardedPDPhysical pins the system semantics: every request drains,
+// latencies are physical, both phases see KV traffic, and the prefill→
+// decode links actually moved bytes (the transfer path is exercised, not
+// bypassed).
+func TestShardedPDPhysical(t *testing.T) {
+	cfg := shardedCfg(t)
+	cfg.NetDelay = sim.Seconds(0.005)
+	res, err := RunShardedDistServe(cfg, trace13B(4, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "DistServe-sharded" {
+		t.Errorf("system = %q", res.System)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d unfinished requests", res.Unfinished)
+	}
+	if res.Summary.TTFTP50 <= 0 {
+		t.Errorf("TTFT p50 = %v", res.Summary.TTFTP50)
+	}
+	if res.Summary.TPOTP99 > sim.Seconds(1) {
+		t.Errorf("TPOT p99 = %v at light load", res.Summary.TPOTP99)
+	}
+	if res.PrefillKV.PeakBlocks == 0 || res.DecodeKV.PeakBlocks == 0 {
+		t.Error("a phase saw no KV activity")
+	}
+	if res.LiveKVBlocks != 0 {
+		t.Errorf("%d KV blocks leaked", res.LiveKVBlocks)
+	}
+	if res.TransferGB <= 0 {
+		t.Error("no bytes moved on the prefill→decode links")
+	}
+	// The wire prices coordination: TTFT must include at least the
+	// submit hop plus the admission hop.
+	if res.Summary.TTFTP50 < cfg.NetDelay {
+		t.Errorf("TTFT p50 %v below one wire hop", res.Summary.TTFTP50)
+	}
+}
+
+// TestShardedPDStats checks the out-of-band barrier counters: adaptive
+// mode must execute at least as few full crossings as fixed mode on the
+// same workload, and the counters must reconcile.
+func TestShardedPDStats(t *testing.T) {
+	reqs := trace13B(2, 120, 9)
+	run := func(mode string) shard.Stats {
+		cfg := shardedCfg(t)
+		cfg.Shards = 4
+		cfg.Lookahead = mode
+		var st shard.Stats
+		cfg.ShardStats = &st
+		if _, err := RunShardedDistServe(cfg, reqs); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	ad, fx := run("adaptive"), run("fixed")
+	if ad.Windows != ad.Crossings+ad.SoloWindows {
+		t.Errorf("adaptive counters do not reconcile: %+v", ad)
+	}
+	if fx.SoloWindows != 0 {
+		t.Errorf("fixed mode ran %d solo windows", fx.SoloWindows)
+	}
+	if ad.Crossings > fx.Crossings {
+		t.Errorf("adaptive crossings %d > fixed %d", ad.Crossings, fx.Crossings)
+	}
+	if ad.Delivered == 0 {
+		t.Error("no cross-shard envelopes delivered")
+	}
+}
+
+// TestShardedPDRejectsUnsupported pins the v1 surface: knobs the sharded
+// testbed does not model must fail loudly, not silently misbehave.
+func TestShardedPDRejectsUnsupported(t *testing.T) {
+	cases := map[string]func(*ShardedConfig){
+		"shedding":  func(c *ShardedConfig) { c.Serve.Shed.MaxQueueDepth = 4 },
+		"elastic":   func(c *ShardedConfig) { c.Serve.Elastic = true },
+		"prefix":    func(c *ShardedConfig) { c.Serve.Prefix.Enabled = true },
+		"lookahead": func(c *ShardedConfig) { c.Lookahead = "bogus" },
+	}
+	for name, mutate := range cases {
+		cfg := shardedCfg(t)
+		mutate(&cfg)
+		if _, err := RunShardedDistServe(cfg, trace13B(1, 5, 1)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

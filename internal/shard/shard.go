@@ -5,30 +5,75 @@
 //
 // # Model
 //
-// Time is cut into a fixed grid of windows [kL, (k+1)L) where L is the
-// lookahead — the minimum virtual latency of any cross-shard message. Every
-// shard executes the same window concurrently, each on its own simulator.
-// Actors within a window communicate across shards only via Send, which
-// requires delay >= L: a message sent at t inside window k delivers at
-// t+delay >= kL+L = (k+1)L, i.e. never inside the window being executed,
-// so no shard can observe an effect before the barrier that publishes it.
+// Time is cut into windows whose width is bounded by the lookahead L — the
+// minimum virtual latency of any cross-shard message. Every shard executes
+// the same window concurrently, each on its own simulator. Actors within a
+// window communicate across shards only via Send, which requires
+// delay >= L: a message sent at t inside a window ending at wend satisfies
+// t >= tmin (the global minimum pending event time when the window was
+// opened) and therefore delivers at t+delay >= tmin+L >= wend, i.e. never
+// inside the window being executed, so no shard can observe an effect
+// before the barrier that publishes it.
+//
+// Window ends are derived in one of two modes. Adaptive (the default)
+// uses the Chandy–Misra earliest-output-time bound directly: outboxes are
+// empty at every window start, so no shard can emit a cross-shard effect
+// before tmin+L, and the window runs to exactly wend = tmin+L. FixedGrid
+// (the original model) aligns wend to the fixed grid of [kL, (k+1)L)
+// windows containing tmin. Both ends are functions of (tmin, L) only —
+// global, shard-count-invariant quantities — so the window sequence, and
+// therefore all output, is identical at any shard count. Adaptive mode
+// additionally skips the worker barrier for windows whose in-window
+// events all live on a single shard: the coordinating goroutine executes
+// the window itself (workers stay parked between channel handshakes, so
+// the access is ordered), which turns idle-heavy stretches from one
+// barrier per window into none.
 //
 // At each barrier the group gathers every shard's outbox, sorts each
 // destination's inbound messages by (deliverAt, sentAt, srcActor, srcSeq),
 // and schedules them on the destination simulator. The sort key is built
 // only from per-actor quantities — never from shard indices — so the merged
 // order (and therefore every downstream event sequence) is identical at any
-// shard count, including 1. Empty windows are skipped by jumping the grid
-// to the earliest pending event, so sparse periods cost one min-scan, not
-// one barrier per L of virtual time.
+// shard count, including 1. Empty stretches are skipped by deriving the
+// next window from the earliest pending event, so sparse periods cost one
+// min-scan, not one barrier per L of virtual time.
 package shard
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"windserve/internal/sim"
 )
+
+// LookaheadMode selects how window ends are derived from the global state.
+type LookaheadMode int
+
+const (
+	// Adaptive derives each window end as tmin + L — the Chandy–Misra
+	// earliest-output-time bound over all shards (outboxes are empty at
+	// window start, so shard i cannot emit before NextAt_i + L, and the
+	// minimum over shards is tmin + L). Quiet stretches are crossed in
+	// one window instead of ⌈gap/L⌉ grid steps, and single-shard windows
+	// skip the worker barrier entirely.
+	Adaptive LookaheadMode = iota
+	// FixedGrid steps the fixed grid of [kL, (k+1)L) windows. Kept as a
+	// fallback and as the baseline for the adaptive-vs-fixed digest
+	// equality gate.
+	FixedGrid
+)
+
+// Stats counts window and barrier work performed by Run. Windows =
+// Crossings + SoloWindows. The counts depend on the shard count and
+// lookahead mode (that is their purpose) and must therefore never be
+// folded into digested simulation output.
+type Stats struct {
+	Windows     int64 // windows executed in total
+	Crossings   int64 // windows synchronized across all shards (full barrier)
+	SoloWindows int64 // windows run on the coordinator: all events on one shard
+	Delivered   int64 // cross-shard envelopes delivered at barriers
+}
 
 // envelope is one cross-shard message in flight.
 type envelope[M any] struct {
@@ -94,6 +139,8 @@ type Group[M any] struct {
 	actorSeq []uint64
 	end      sim.Time
 	endSet   bool
+	mode     LookaheadMode
+	stats    Stats
 
 	// Persistent window workers for shards 1..N-1 (shard 0 runs on the
 	// coordinating goroutine). Nil until Run starts them.
@@ -130,6 +177,17 @@ func (g *Group[M]) Shard(i int) *Shard[M] { return g.shards[i] }
 
 // Lookahead returns the group lookahead.
 func (g *Group[M]) Lookahead() sim.Duration { return g.lookahead }
+
+// SetMode selects the lookahead mode. Call before Run; the default is
+// Adaptive.
+func (g *Group[M]) SetMode(m LookaheadMode) { g.mode = m }
+
+// Mode returns the lookahead mode.
+func (g *Group[M]) Mode() LookaheadMode { return g.mode }
+
+// Stats returns window/barrier counters accumulated by Run. They describe
+// wall-clock work only — virtual-time output is independent of them.
+func (g *Group[M]) Stats() Stats { return g.stats }
 
 // GrowActors pre-sizes the per-actor sequence table for actor ids < n.
 func (g *Group[M]) GrowActors(n int) {
@@ -183,42 +241,96 @@ func (g *Group[M]) Run(parallel bool) {
 		g.startWorkers()
 		defer g.stopWorkers()
 	}
+	for g.step(parallel) {
+	}
+}
+
+// step derives and executes the next window; it reports false when every
+// shard has drained or the end cap is reached. The window end is a
+// function of (tmin, L, end) only — all global, shard-count-invariant
+// quantities — which is the whole invariance argument: the window
+// sequence, and hence every simulator's event sequence, is identical at
+// any shard count and in any execution mode.
+func (g *Group[M]) step(parallel bool) bool {
+	tmin, any := sim.Time(0), false
+	for _, sh := range g.shards {
+		if t, ok := sh.sim.NextAt(); ok && (!any || t < tmin) {
+			tmin, any = t, true
+		}
+	}
+	if !any || (g.endSet && tmin > g.end) {
+		return false
+	}
 	L := sim.Time(g.lookahead)
-	for {
-		tmin, any := sim.Time(0), false
-		for _, sh := range g.shards {
-			if t, ok := sh.sim.NextAt(); ok && (!any || t < tmin) {
-				tmin, any = t, true
-			}
-		}
-		if !any || (g.endSet && tmin > g.end) {
-			break
-		}
+	var wend sim.Time
+	if g.mode == FixedGrid {
 		// Jump to the grid window containing tmin; every executed
 		// window fires at least one event. When tmin sits on a grid
 		// boundary within float rounding, tmin/L can round down and
 		// leave tmin at (not before) wend — bump until the window
-		// strictly contains it. The bump is a function of (tmin, L)
-		// only, both shard-count-invariant, so determinism holds; and
-		// wend <= tmin + L keeps every in-window send (sentAt >= tmin)
-		// delivering at >= sentAt + L >= wend, outside the window.
+		// strictly contains it. wend <= tmin + L keeps every in-window
+		// send (sentAt >= tmin) delivering at >= sentAt + L >= wend,
+		// outside the window.
 		k := sim.Time(int64(tmin / L))
-		wend := (k + 1) * L
+		wend = (k + 1) * L
 		for wend <= tmin {
 			k++
 			wend = (k + 1) * L
 		}
-		if g.endSet && wend > g.end {
-			// Final partial window [kL, end]. Any message sent here
-			// has sentAt >= kL, so it delivers at >= (k+1)L > end:
-			// the cap drops it, exactly as a sequential run would
-			// leave its delivery pending past the horizon.
-			g.runAll(parallel, windowCmd{end: g.end, inclusive: true})
-			break
+	} else {
+		// Adaptive: the earliest-output-time bound. No shard can emit a
+		// cross-shard effect before tmin + L (outboxes are empty here,
+		// and any in-window send has sentAt >= tmin, delay >= L), so
+		// the window safely runs all the way to wend = tmin + L — one
+		// window per event cluster instead of one per grid cell. When
+		// L underflows an ulp of tmin, widen to the next representable
+		// time so the window still contains tmin.
+		wend = tmin + L
+		if wend <= tmin {
+			wend = sim.Time(math.Nextafter(float64(tmin), math.Inf(1)))
 		}
-		g.runAll(parallel, windowCmd{end: wend})
-		g.deliver()
 	}
+	cmd := windowCmd{end: wend}
+	last := false
+	if g.endSet && wend > g.end {
+		// Final partial window [tmin, end]. Any message sent here has
+		// sentAt >= tmin, so it delivers at >= tmin + L = wend > end:
+		// the cap drops it, exactly as a sequential run would leave its
+		// delivery pending past the horizon.
+		cmd = windowCmd{end: g.end, inclusive: true}
+		last = true
+	}
+	g.stats.Windows++
+	if g.mode == Adaptive && g.activeShards(cmd) <= 1 {
+		// Every in-window event lives on one shard: execute the window
+		// on the coordinating goroutine without waking the workers.
+		// Idle shards still get their clocks parked at the window end
+		// (a peek plus an assignment each), so per-shard state after a
+		// solo window is indistinguishable from a full barrier — only
+		// the synchronization is skipped. Workers are parked between
+		// channel handshakes, so the coordinator's access is ordered.
+		g.stats.SoloWindows++
+		g.runAll(false, cmd)
+	} else {
+		g.stats.Crossings++
+		g.runAll(parallel, cmd)
+	}
+	if last {
+		return false
+	}
+	g.deliver()
+	return true
+}
+
+// activeShards counts shards holding at least one event inside the window.
+func (g *Group[M]) activeShards(cmd windowCmd) int {
+	n := 0
+	for _, sh := range g.shards {
+		if t, ok := sh.sim.NextAt(); ok && (t < cmd.end || (cmd.inclusive && t <= cmd.end)) {
+			n++
+		}
+	}
+	return n
 }
 
 // runAll executes one window on every shard.
@@ -262,6 +374,7 @@ func (g *Group[M]) deliver() {
 		if len(dst.inbox) == 0 {
 			continue
 		}
+		g.stats.Delivered += int64(len(dst.inbox))
 		// (deliverAt, sentAt, actor, seq): built from per-actor
 		// quantities only, so the order is shard-count-invariant.
 		slices.SortFunc(dst.inbox, func(a, b envelope[M]) int {

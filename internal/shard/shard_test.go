@@ -20,10 +20,11 @@ type hopMsg struct {
 // (a+1)%nActors with a delay that varies by token, plus schedules a local
 // event to exercise native/delivered interleaving. Returns the per-actor
 // traces, merged in actor order after the run.
-func runRing(t *testing.T, nShards, nActors int, parallel bool) string {
+func runRing(t *testing.T, nShards, nActors int, parallel bool, mode LookaheadMode) string {
 	t.Helper()
 	const L = sim.Duration(0.5)
 	g := NewGroup[hopMsg](nShards, L)
+	g.SetMode(mode)
 	g.GrowActors(nActors)
 	traces := make([][]string, nActors)
 	shardOf := func(a int) int { return a % nShards }
@@ -65,20 +66,63 @@ func runRing(t *testing.T, nShards, nActors int, parallel bool) string {
 
 // TestByteIdentityAcrossShardCounts is the core determinism property: the
 // merged trace must be identical at every shard count, sequential or
-// parallel.
+// parallel, in both lookahead modes.
 func TestByteIdentityAcrossShardCounts(t *testing.T) {
 	const actors = 7
-	want := runRing(t, 1, actors, false)
+	want := runRing(t, 1, actors, false, Adaptive)
 	if !strings.Contains(want, "recv") {
 		t.Fatalf("reference run produced no deliveries:\n%s", want)
 	}
-	for _, shards := range []int{2, 3, 4, 7} {
-		for _, parallel := range []bool{false, true} {
-			got := runRing(t, shards, actors, parallel)
-			if got != want {
-				t.Errorf("shards=%d parallel=%v diverged from sequential run", shards, parallel)
+	for _, mode := range []LookaheadMode{Adaptive, FixedGrid} {
+		for _, shards := range []int{1, 2, 3, 4, 7} {
+			for _, parallel := range []bool{false, true} {
+				got := runRing(t, shards, actors, parallel, mode)
+				if got != want {
+					t.Errorf("mode=%v shards=%d parallel=%v diverged from sequential run", mode, shards, parallel)
+				}
 			}
 		}
+	}
+}
+
+// TestAdaptiveCutsCrossings: on a sparse workload where activity hops
+// between shards separated by idle gaps much wider than L, the adaptive
+// barrier must cross far fewer times than the fixed grid (that is its
+// entire purpose), while producing the same trace.
+func TestAdaptiveCutsCrossings(t *testing.T) {
+	run := func(mode LookaheadMode) (string, Stats) {
+		const L = sim.Duration(0.5)
+		g := NewGroup[hopMsg](2, L)
+		g.SetMode(mode)
+		g.GrowActors(2)
+		var trace strings.Builder
+		for i := 0; i < 2; i++ {
+			sh := g.Shard(i)
+			sh.OnMessage(func(src int, m hopMsg) {
+				fmt.Fprintf(&trace, "recv t=%.6f src=%d hops=%d\n", sh.Sim().Now(), src, m.hops)
+				if m.hops > 0 {
+					// ~40L of idle virtual time between hops.
+					sh.Send(1-sh.Index(), 1-src, 20, hopMsg{hops: m.hops - 1})
+				}
+			})
+		}
+		g.Shard(0).Sim().At(0, func() { g.Shard(0).Send(1, 0, 20, hopMsg{hops: 30}) })
+		g.Run(false)
+		return trace.String(), g.Stats()
+	}
+	aTrace, aStats := run(Adaptive)
+	fTrace, fStats := run(FixedGrid)
+	if aTrace != fTrace {
+		t.Fatalf("adaptive trace diverged from fixed grid:\n%s\nvs\n%s", aTrace, fTrace)
+	}
+	if aStats.Crossings*3 > fStats.Crossings {
+		t.Errorf("adaptive crossings %d not >=3x below fixed %d", aStats.Crossings, fStats.Crossings)
+	}
+	if aStats.Windows != aStats.Crossings+aStats.SoloWindows {
+		t.Errorf("stats identity broken: %+v", aStats)
+	}
+	if aStats.Delivered != fStats.Delivered || aStats.Delivered == 0 {
+		t.Errorf("delivered mismatch: adaptive %d fixed %d", aStats.Delivered, fStats.Delivered)
 	}
 }
 
@@ -172,6 +216,32 @@ func BenchmarkBarrierCrossing(b *testing.B) {
 		end++
 		g.runAll(false, windowCmd{end: end})
 		g.deliver()
+	}
+}
+
+// BenchmarkShardBarrierIdle measures an adaptive solo-window step: only
+// one shard has events, so the coordinator derives the window end, runs
+// the active shard, parks the idle shards' clocks, and sweeps empty
+// outboxes — no worker handshake, and (CI-gated) no allocation.
+func BenchmarkShardBarrierIdle(b *testing.B) {
+	g := NewGroup[int](4, 1)
+	for i := 0; i < 4; i++ {
+		g.Shard(i).OnMessage(func(int, int) {})
+	}
+	s := g.Shard(0).Sim()
+	var tick func()
+	tick = func() { s.Schedule(0.5, tick) }
+	s.Schedule(0.5, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.step(false) {
+			b.Fatal("idle step drained")
+		}
+	}
+	st := g.Stats()
+	if st.Crossings != 0 || st.SoloWindows != int64(b.N) {
+		b.Fatalf("expected all-solo windows, got %+v after %d steps", st, b.N)
 	}
 }
 
